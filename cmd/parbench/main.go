@@ -1,0 +1,42 @@
+// Command parbench regenerates the reconstructed evaluation: every table
+// and figure indexed in DESIGN.md §3 (E1–E6). See EXPERIMENTS.md for the
+// recorded outputs and the paper-shape commentary.
+//
+//	parbench               run all experiments at full size
+//	parbench -exp e2,e5    run selected experiments
+//	parbench -quick        small sizes (seconds, for smoke tests)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parulel/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6) or 'all'")
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	flag.Parse()
+
+	ids := bench.Order
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for i, id := range ids {
+		run, ok := bench.Experiments[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e6)\n", id)
+			os.Exit(2)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module parulel
+
+go 1.22

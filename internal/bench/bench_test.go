@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExperimentsRunQuick executes every experiment at quick size and
+// sanity-checks the emitted tables.
+func TestExperimentsRunQuick(t *testing.T) {
+	wantHeader := map[string]string{
+		"e1":  "cycle-ratio",
+		"e2":  "match-pot",
+		"e3":  "split-k",
+		"e4":  "matcher",
+		"e5":  "redact%",
+		"e6":  "over-allocated-orders",
+		"e7":  "redact-share",
+		"e8":  "semantics",
+		"e9":  "strategy",
+		"e10": "beta-tokens",
+	}
+	for _, id := range Order {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Experiments[id](&buf, true); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, wantHeader[id]) {
+				t.Errorf("%s output missing %q:\n%s", id, wantHeader[id], out)
+			}
+			if lines := strings.Count(out, "\n"); lines < 4 {
+				t.Errorf("%s output too short (%d lines):\n%s", id, lines, out)
+			}
+		})
+	}
+}
+
+func TestOrderCoversExperiments(t *testing.T) {
+	if len(Order) != len(Experiments) {
+		t.Fatalf("Order has %d ids, Experiments %d", len(Order), len(Experiments))
+	}
+	for _, id := range Order {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestPotential(t *testing.T) {
+	if p := potential(nil); p != 1 {
+		t.Errorf("potential(nil) = %v, want 1", p)
+	}
+	if p := potential([]time.Duration{4, 4, 4, 4}); p != 4 {
+		t.Errorf("balanced potential = %v, want 4", p)
+	}
+	if p := potential([]time.Duration{8, 0, 0, 0}); p != 1 {
+		t.Errorf("serial potential = %v, want 1", p)
+	}
+	if p := potential([]time.Duration{6, 2}); p != (8.0 / 6.0) {
+		t.Errorf("skewed potential = %v, want %v", p, 8.0/6.0)
+	}
+}

@@ -1,0 +1,303 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"parulel/internal/wm"
+)
+
+func compileOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("CompileSource failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+const kernel = `
+(literalize pool  id amount status)
+(literalize order id lo hi filled)
+(literalize bid   pool order)
+
+(wm
+  (pool ^id 1 ^amount 100 ^status free)
+  (order ^id 1 ^lo 50 ^hi 150 ^filled no))
+
+(rule propose
+  (pool  ^id <p> ^amount <a> ^status free)
+  (order ^id <o> ^lo <lo> ^hi <hi> ^filled no)
+  (test (and (>= <a> <lo>) (<= <a> <hi>)))
+-->
+  (make bid ^pool <p> ^order <o>))
+
+(metarule one-bid-per-pool
+  [<i> (propose ^p <p> ^o <o1>)]
+  [<j> (propose ^p <p> ^o <o2>)]
+  (test (< <o1> <o2>))
+-->
+  (redact <j>))
+`
+
+func TestCompileKernel(t *testing.T) {
+	p := compileOK(t, kernel)
+	if p.Schema.Len() != 3 {
+		t.Errorf("schema templates = %d, want 3", p.Schema.Len())
+	}
+	if len(p.Facts) != 2 {
+		t.Errorf("facts = %d, want 2", len(p.Facts))
+	}
+	r, ok := p.RuleByName("propose")
+	if !ok {
+		t.Fatal("propose not found")
+	}
+	if r.NumPositive != 2 || len(r.CEs) != 2 {
+		t.Fatalf("propose CEs: NumPositive=%d len=%d", r.NumPositive, len(r.CEs))
+	}
+	// First CE: ^id <p> binds, ^amount <a> binds, ^status free is an eq
+	// const test.
+	ce0 := r.CEs[0]
+	if len(ce0.ConstTests) != 1 || ce0.ConstTests[0].Op != OpEq || ce0.ConstTests[0].Val != wm.Sym("free") {
+		t.Errorf("ce0 const tests: %+v", ce0.ConstTests)
+	}
+	if len(ce0.EqConsts) != 1 {
+		t.Errorf("ce0 eq consts: %+v", ce0.EqConsts)
+	}
+	if r.Bindings["p"] != (VarRef{CE: 0, Field: 0}) {
+		t.Errorf("binding p = %+v", r.Bindings["p"])
+	}
+	if r.Bindings["o"] != (VarRef{CE: 1, Field: 0}) {
+		t.Errorf("binding o = %+v", r.Bindings["o"])
+	}
+	// The test element attaches to CE 1 (level of <a>,<lo>,<hi> max).
+	ce1 := r.CEs[1]
+	if len(ce1.Filters) != 1 {
+		t.Fatalf("ce1 filters = %d, want 1", len(ce1.Filters))
+	}
+	m := p.MetaRules[0]
+	if len(m.Patterns) != 2 || len(m.Tests) != 1 || len(m.Redacts) != 1 || m.Redacts[0] != 1 {
+		t.Fatalf("metarule shape: %+v", m)
+	}
+	// Second pattern joins <p> with the first pattern's <p>.
+	if len(m.Patterns[1].JoinTests) != 1 {
+		t.Fatalf("meta join tests: %+v", m.Patterns[1].JoinTests)
+	}
+	jt := m.Patterns[1].JoinTests[0]
+	if jt.OtherPat != 0 || jt.Op != OpEq {
+		t.Errorf("meta join test: %+v", jt)
+	}
+}
+
+func TestCompileJoinAndIntraTests(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x y)
+(literalize b x z)
+(rule r
+  (a ^x <v> ^y <v>)
+  (b ^x <v> ^z (> <v>))
+-->
+  (make a ^x <v>))
+`)
+	r := p.Rules[0]
+	ce0, ce1 := r.CEs[0], r.CEs[1]
+	if len(ce0.IntraTests) != 1 || ce0.IntraTests[0].Op != OpEq {
+		t.Errorf("ce0 intra: %+v", ce0.IntraTests)
+	}
+	if len(ce1.JoinTests) != 2 {
+		t.Fatalf("ce1 joins: %+v", ce1.JoinTests)
+	}
+	if ce1.JoinTests[0].Op != OpEq || ce1.JoinTests[1].Op != OpGt {
+		t.Errorf("ce1 join ops: %+v", ce1.JoinTests)
+	}
+}
+
+func TestCompileNegatedLocals(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x y)
+(rule r
+  (a ^x <v>)
+  - (a ^x <w> ^y <w>)
+  - (a ^y (> <v>))
+-->
+  (remove 1))
+`)
+	r := p.Rules[0]
+	if r.NumPositive != 1 || len(r.CEs) != 3 {
+		t.Fatalf("shape: pos=%d ces=%d", r.NumPositive, len(r.CEs))
+	}
+	neg1 := r.CEs[1]
+	if !neg1.Negated || len(neg1.IntraTests) != 1 {
+		t.Errorf("neg1: %+v", neg1)
+	}
+	neg2 := r.CEs[2]
+	if len(neg2.JoinTests) != 1 || neg2.JoinTests[0].Op != OpGt {
+		t.Errorf("neg2 joins: %+v", neg2.JoinTests)
+	}
+	// <w> must not leak out of the negated element.
+	if _, leaked := r.Bindings["w"]; leaked {
+		t.Error("variable local to negated CE leaked into rule bindings")
+	}
+}
+
+func TestCompileModifyRemoveDesignators(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x)
+(literalize b y)
+(rule r
+  <ea> <- (a ^x <v>)
+  - (b ^y <v>)
+  (b ^y <w>)
+-->
+  (modify <ea> ^x (+ <v> 1))
+  (modify 3 ^y 0)
+  (remove 1 3))
+`)
+	r := p.Rules[0]
+	mod0 := r.Actions[0]
+	if mod0.Kind != ActModify || mod0.Target != 0 {
+		t.Errorf("modify <ea>: %+v", mod0)
+	}
+	mod1 := r.Actions[1]
+	if mod1.Target != 1 { // third LHS item is the second positive CE
+		t.Errorf("modify 3 target = %d, want 1", mod1.Target)
+	}
+	rm := r.Actions[2]
+	if len(rm.Targets) != 2 || rm.Targets[0] != 0 || rm.Targets[1] != 1 {
+		t.Errorf("remove targets: %+v", rm.Targets)
+	}
+}
+
+func TestCompileBindLocals(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x)
+(rule r (a ^x <v>) -->
+  (bind <t> (* <v> 2))
+  (bind <u> (+ <t> 1))
+  (make a ^x <u>))
+`)
+	r := p.Rules[0]
+	if r.NumLocals != 2 {
+		t.Errorf("NumLocals = %d, want 2", r.NumLocals)
+	}
+	if r.Actions[0].Kind != ActBind || r.Actions[0].Local != 0 {
+		t.Errorf("bind 0: %+v", r.Actions[0])
+	}
+	mk := r.Actions[2]
+	if mk.Slots[0].Expr.Kind != ELocal || mk.Slots[0].Expr.Local != 1 {
+		t.Errorf("make slot should reference local 1: %+v", mk.Slots[0].Expr)
+	}
+}
+
+func TestCompileSpecificity(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x y)
+(rule narrow (a ^x 1 ^y 2) (test (> 2 1)) --> (halt))
+(rule broad (a) --> (halt))
+`)
+	narrow, _ := p.RuleByName("narrow")
+	broad, _ := p.RuleByName("broad")
+	if narrow.Specificity <= broad.Specificity {
+		t.Errorf("specificity: narrow=%d broad=%d", narrow.Specificity, broad.Specificity)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`(literalize a x) (literalize a y)`, "redeclared"},
+		{`(wm (ghost ^x 1))`, "undeclared template"},
+		{`(literalize a x) (wm (a ^nope 1))`, "no attribute"},
+		{`(literalize a x) (rule r (ghost ^x 1) --> (halt))`, "undeclared template"},
+		{`(literalize a x) (rule r (a ^nope 1) --> (halt))`, "no attribute"},
+		{`(literalize a x) (rule r (a ^x (> <u>)) --> (halt))`, "predicate on unbound"},
+		{`(literalize a x) (rule r (test (> <u> 1)) (a ^x 1) --> (halt))`, "unbound variable"},
+		{`(literalize a x) (rule r (a ^x 1) --> (make a ^x <u>))`, "unbound variable"},
+		{`(literalize a x) (rule r - (a ^x 1) --> (halt))`, "at least one positive"},
+		{`(literalize a x) (rule r (a ^x 1) --> (remove 2))`, "out of range"},
+		{`(literalize a x) (rule r (a ^x 1) - (a ^x 2) --> (remove 2))`, "negated or a test"},
+		{`(literalize a x) (rule r (a ^x 1) --> (modify <e> ^x 2))`, "not an element variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (bind <v> 2))`, "shadows rule variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (make a ^x (frob <v>)))`, "unknown builtin"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (make a ^x <v> ^x <v>))`, "assigned twice"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (rule r (a ^x <v>) --> (halt))`, "redeclared"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (ghost ^v <x>)] --> (redact <i>))`, "unknown rule"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^nope <x>)] --> (redact <i>))`, "no variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v <x>)] --> (redact <j>))`, "unknown pattern variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v <x>)] (test (< <i> 1)) --> (redact <i>))`, "pattern variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v <x>)] (test (tag <x>)) --> (redact <i>))`, "not a pattern variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v <x>)] [<i> (r ^v <y>)] --> (redact <i>))`, "bound twice"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v <q>)] (test (not <zz>)) --> (redact <i>))`, "unbound variable"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (halt)) (metarule m [<i> (r ^v (> <zz>))] --> (redact <i>))`, "predicate on unbound"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (make a ^x (+ <v>)))`, "at least 2"},
+		{`(literalize a x) (rule r (a ^x <v>) --> (make a ^x (not <v> <v>)))`, "expects 1"},
+		{`(literalize a x) (rule r <e> <- (a ^x 1) (a ^x <e>) --> (halt))`, "element variable and cannot match"},
+		{`(literalize a x) (rule r <e> <- (a ^x 1) <e> <- (a ^x 2) --> (halt))`, "bound twice"},
+		{`(literalize a x) (rule r (a ^x <e>) <e> <- (a ^x 2) --> (halt))`, "both element and value"},
+	}
+	for _, c := range cases {
+		_, err := CompileSource(c.src)
+		if err == nil {
+			t.Errorf("CompileSource(%q) should fail with %q", c.src, c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("CompileSource(%q)\n error = %q, want substring %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestPredOpApply(t *testing.T) {
+	cases := []struct {
+		op   PredOp
+		a, b wm.Value
+		want bool
+	}{
+		{OpEq, wm.Int(3), wm.Int(3), true},
+		{OpEq, wm.Int(3), wm.Float(3), false}, // strict
+		{OpNumEq, wm.Int(3), wm.Float(3), true},
+		{OpNe, wm.Int(3), wm.Float(3), false},
+		{OpNe, wm.Sym("a"), wm.Sym("b"), true},
+		{OpLt, wm.Int(2), wm.Float(2.5), true},
+		{OpLe, wm.Float(2.5), wm.Float(2.5), true},
+		{OpGt, wm.Int(3), wm.Int(2), true},
+		{OpGe, wm.Int(1), wm.Int(2), false},
+		{OpLt, wm.Sym("apple"), wm.Sym("banana"), true}, // lexical fallback
+		{OpLt, wm.Int(3), wm.Sym("a"), true},            // numbers before symbols
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.Apply(%v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMatchesAlpha(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x y)
+(rule r (a ^x 1 ^y (> 5)) --> (halt))
+`)
+	ce := p.Rules[0].CEs[0]
+	mem := wm.NewMemory(p.Schema)
+	good, _ := mem.Insert("a", map[string]wm.Value{"x": wm.Int(1), "y": wm.Int(10)})
+	badConst, _ := mem.Insert("a", map[string]wm.Value{"x": wm.Int(2), "y": wm.Int(10)})
+	badPred, _ := mem.Insert("a", map[string]wm.Value{"x": wm.Int(1), "y": wm.Int(3)})
+	if !ce.MatchesAlpha(good) {
+		t.Error("good WME should pass alpha tests")
+	}
+	if ce.MatchesAlpha(badConst) || ce.MatchesAlpha(badPred) {
+		t.Error("bad WMEs should fail alpha tests")
+	}
+}
+
+func TestCompileIfArity(t *testing.T) {
+	if _, err := CompileSource(`(literalize a x) (rule r (a ^x <v>) --> (make a ^x (if <v> 1)))`); err == nil {
+		t.Error("if with 2 args should fail")
+	}
+	p := compileOK(t, `(literalize a x) (rule r (a ^x <v>) --> (make a ^x (if (> <v> 0) 1 0)))`)
+	if p.Rules[0].Actions[0].Slots[0].Expr.Op != BIf {
+		t.Error("if not compiled")
+	}
+}

@@ -1,0 +1,107 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"parulel/internal/lang"
+	"parulel/internal/wm"
+)
+
+func TestCompileDisjunction(t *testing.T) {
+	p := compileOK(t, `
+(literalize card suit rank)
+(rule red (card ^suit << hearts diamonds >> ^rank <r>) --> (halt))
+`)
+	ce := p.Rules[0].CEs[0]
+	if len(ce.DisjTests) != 1 {
+		t.Fatalf("disj tests: %+v", ce.DisjTests)
+	}
+	d := ce.DisjTests[0]
+	if d.Field != 0 || len(d.Vals) != 2 {
+		t.Fatalf("disj test shape: %+v", d)
+	}
+	mem := wm.NewMemory(p.Schema)
+	heart, _ := mem.Insert("card", map[string]wm.Value{"suit": wm.Sym("hearts"), "rank": wm.Int(1)})
+	club, _ := mem.Insert("card", map[string]wm.Value{"suit": wm.Sym("clubs"), "rank": wm.Int(1)})
+	if !ce.MatchesAlpha(heart) {
+		t.Error("hearts should match the disjunction")
+	}
+	if ce.MatchesAlpha(club) {
+		t.Error("clubs should not match the disjunction")
+	}
+}
+
+func TestCompileDisjunctionMixedKinds(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x)
+(rule r (a ^x << 1 2.5 done "str" nil >>) --> (halt))
+`)
+	d := p.Rules[0].CEs[0].DisjTests[0]
+	want := []wm.Value{wm.Int(1), wm.Float(2.5), wm.Sym("done"), wm.Str("str"), wm.Nil()}
+	if len(d.Vals) != len(want) {
+		t.Fatalf("vals: %v", d.Vals)
+	}
+	for i, v := range want {
+		if d.Vals[i] != v {
+			t.Errorf("val %d = %v, want %v", i, d.Vals[i], v)
+		}
+		if !d.Matches(v) {
+			t.Errorf("Matches(%v) should hold", v)
+		}
+	}
+	if d.Matches(wm.Int(3)) || d.Matches(wm.Float(1)) {
+		t.Error("strict equality expected in disjunctions")
+	}
+}
+
+func TestCompileDisjunctionInMetaRule(t *testing.T) {
+	p := compileOK(t, `
+(literalize a x)
+(rule r (a ^x <v>) --> (halt))
+(metarule m
+  [<i> (r ^v << 1 2 >>)]
+  [<j> (r ^v <w>)]
+-->
+  (redact <j>))
+`)
+	ip := p.MetaRules[0].Patterns[0]
+	if len(ip.DisjTests) != 1 || len(ip.DisjTests[0].Vals) != 2 {
+		t.Fatalf("meta disj tests: %+v", ip.DisjTests)
+	}
+}
+
+func TestDisjunctionParseErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`(literalize a x) (rule r (a ^x << >>) --> (halt))`, "empty disjunction"},
+		{`(literalize a x) (rule r (a ^x << 1 <v> >>) --> (halt))`, "expected a constant"},
+		{`(literalize a x) (rule r (a ^x (> << 1 2 >>)) --> (halt))`, "bad predicate argument"},
+	}
+	for _, c := range cases {
+		_, err := CompileSource(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("CompileSource(%q) error = %v, want %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestDisjunctionPrintRoundTrip(t *testing.T) {
+	src := `
+(literalize a x)
+(rule r (a ^x << 1 two "three" >>) --> (halt))
+`
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(ast)
+	if !strings.Contains(printed, "<< 1 two \"three\" >>") {
+		t.Errorf("printed: %s", printed)
+	}
+	if _, err := lang.Parse(printed); err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+}

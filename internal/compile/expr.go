@@ -1,0 +1,349 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"parulel/internal/wm"
+)
+
+// ExprKind discriminates compiled expression nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	EConst    ExprKind = iota
+	ERef               // rule variable: VarRef into the instantiation
+	ELocal             // RHS-local from (bind …)
+	ECall              // builtin application
+	EMetaRef           // meta-rule: object-rule variable of a matched instantiation
+	EMetaTag           // meta-rule: (tag <i>) — recency of instantiation i
+	EMetaRule          // meta-rule: (rulename <i>)
+	EMetaPrec          // meta-rule: (precedes <i> <j>) — deterministic total order
+)
+
+// Builtin enumerates expression builtins.
+type Builtin uint8
+
+// Builtins. Comparisons reuse PredOp semantics; arithmetic is integer when
+// all operands are ints, float otherwise (like OPS5's compute).
+const (
+	BAdd Builtin = iota
+	BSub
+	BMul
+	BDiv
+	BMod
+	BEq
+	BNe
+	BLt
+	BLe
+	BGt
+	BGe
+	BAnd
+	BOr
+	BNot
+	BMin
+	BMax
+	BAbs
+	BCrlf   // newline marker for (write …)
+	BTabto  // horizontal tab marker for (write …)
+	BHash   // deterministic non-negative integer hash of any value
+	BSymcat // concatenate argument texts into a symbol
+	BIf     // (if cond then else) — lazy conditional
+)
+
+var builtinNames = map[string]Builtin{
+	"+": BAdd, "-": BSub, "*": BMul, "div": BDiv, "//": BDiv, "mod": BMod,
+	"=": BEq, "<>": BNe, "<": BLt, "<=": BLe, ">": BGt, ">=": BGe,
+	"and": BAnd, "or": BOr, "not": BNot,
+	"min": BMin, "max": BMax, "abs": BAbs,
+	"crlf": BCrlf, "tabto": BTabto,
+	"hash": BHash, "symcat": BSymcat, "if": BIf,
+}
+
+// Expr is a compiled expression tree node.
+type Expr struct {
+	Kind  ExprKind
+	Val   wm.Value // EConst
+	Ref   VarRef   // ERef
+	Local int      // ELocal
+	Op    Builtin  // ECall
+	Args  []*Expr  // ECall
+	// Meta fields: Pat indexes the meta-rule's instantiation patterns;
+	// MetaVar is the object-rule variable reference within instantiation
+	// Pat (EMetaRef). EMetaPrec uses Pat and Pat2.
+	Pat     int
+	Pat2    int
+	MetaVar VarRef
+}
+
+// Env supplies variable values during expression evaluation. Object-rule
+// contexts implement Ref and Local; meta-rule contexts implement the Meta*
+// methods. Implementations may panic for the methods that cannot occur in
+// their context (the compiler guarantees they are not reached).
+type Env interface {
+	// Ref returns the value bound by a positive CE's field.
+	Ref(VarRef) wm.Value
+	// Local returns the value of a (bind …) slot.
+	Local(int) wm.Value
+	// MetaVal returns the value of an object-rule variable of the
+	// instantiation matched by meta pattern pat.
+	MetaVal(pat int, ref VarRef) wm.Value
+	// MetaTag returns the recency tag of the instantiation matched by
+	// meta pattern pat (the maximum WME time tag in its vector).
+	MetaTag(pat int) int64
+	// MetaRuleName returns the object rule name of instantiation pat.
+	MetaRuleName(pat int) string
+	// MetaPrecedes reports whether instantiation pat precedes pat2 in the
+	// deterministic total instantiation order.
+	MetaPrecedes(pat, pat2 int) bool
+}
+
+// EvalError is an expression runtime error (type mismatch, division by
+// zero). It carries the failing operator for diagnosis.
+type EvalError struct {
+	Op  string
+	Msg string
+}
+
+func (e *EvalError) Error() string { return fmt.Sprintf("eval %s: %s", e.Op, e.Msg) }
+
+// Eval evaluates a compiled expression.
+func Eval(e *Expr, env Env) (wm.Value, error) {
+	switch e.Kind {
+	case EConst:
+		return e.Val, nil
+	case ERef:
+		return env.Ref(e.Ref), nil
+	case ELocal:
+		return env.Local(e.Local), nil
+	case EMetaRef:
+		return env.MetaVal(e.Pat, e.MetaVar), nil
+	case EMetaTag:
+		return wm.Int(env.MetaTag(e.Pat)), nil
+	case EMetaRule:
+		return wm.Sym(env.MetaRuleName(e.Pat)), nil
+	case EMetaPrec:
+		return wm.Bool(env.MetaPrecedes(e.Pat, e.Pat2)), nil
+	case ECall:
+		return evalCall(e, env)
+	default:
+		return wm.Value{}, &EvalError{Op: "?", Msg: fmt.Sprintf("bad expr kind %d", e.Kind)}
+	}
+}
+
+func evalCall(e *Expr, env Env) (wm.Value, error) {
+	// Short-circuit boolean forms evaluate lazily.
+	switch e.Op {
+	case BAnd:
+		for _, a := range e.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return wm.Value{}, err
+			}
+			if !v.Truthy() {
+				return wm.Bool(false), nil
+			}
+		}
+		return wm.Bool(true), nil
+	case BOr:
+		for _, a := range e.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return wm.Value{}, err
+			}
+			if v.Truthy() {
+				return wm.Bool(true), nil
+			}
+		}
+		return wm.Bool(false), nil
+	case BCrlf:
+		return wm.Str("\n"), nil
+	case BTabto:
+		return wm.Str("\t"), nil
+	case BIf:
+		cond, err := Eval(e.Args[0], env)
+		if err != nil {
+			return wm.Value{}, err
+		}
+		if cond.Truthy() {
+			return Eval(e.Args[1], env)
+		}
+		return Eval(e.Args[2], env)
+	}
+
+	args := make([]wm.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return wm.Value{}, err
+		}
+		args[i] = v
+	}
+
+	switch e.Op {
+	case BNot:
+		return wm.Bool(!args[0].Truthy()), nil
+	case BHash:
+		return wm.Int(hashValue(args[0])), nil
+	case BSymcat:
+		var b strings.Builder
+		for _, a := range args {
+			if a.Kind == wm.KindSym || a.Kind == wm.KindStr {
+				b.WriteString(a.S)
+			} else {
+				b.WriteString(a.String())
+			}
+		}
+		if b.Len() == 0 {
+			return wm.Value{}, &EvalError{Op: "symcat", Msg: "empty result"}
+		}
+		return wm.Sym(b.String()), nil
+	case BEq:
+		return wm.Bool(OpNumEq.Apply(args[0], args[1])), nil
+	case BNe:
+		return wm.Bool(OpNe.Apply(args[0], args[1])), nil
+	case BLt:
+		return wm.Bool(OpLt.Apply(args[0], args[1])), nil
+	case BLe:
+		return wm.Bool(OpLe.Apply(args[0], args[1])), nil
+	case BGt:
+		return wm.Bool(OpGt.Apply(args[0], args[1])), nil
+	case BGe:
+		return wm.Bool(OpGe.Apply(args[0], args[1])), nil
+	case BAdd, BSub, BMul, BDiv, BMod, BMin, BMax:
+		return evalArith(e.Op, args)
+	case BAbs:
+		v := args[0]
+		switch v.Kind {
+		case wm.KindInt:
+			if v.I < 0 {
+				return wm.Int(-v.I), nil
+			}
+			return v, nil
+		case wm.KindFloat:
+			if v.F < 0 {
+				return wm.Float(-v.F), nil
+			}
+			return v, nil
+		default:
+			return wm.Value{}, &EvalError{Op: "abs", Msg: fmt.Sprintf("non-numeric operand %s", v)}
+		}
+	default:
+		return wm.Value{}, &EvalError{Op: fmt.Sprint(e.Op), Msg: "unknown builtin"}
+	}
+}
+
+// hashValue maps any value to a deterministic non-negative int64 (FNV-1a
+// over the kind and payload). Copy-and-constrain partitions rule variants
+// with `(= (mod (hash <v>) k) i)`.
+func hashValue(v wm.Value) int64 {
+	const (
+		offset = uint64(14695981039346656037)
+		prime  = uint64(1099511628211)
+	)
+	h := offset
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	mix(byte(v.Kind))
+	switch v.Kind {
+	case wm.KindInt:
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case wm.KindFloat:
+		// Hash the decimal rendering so 2.0 and the float bit-pattern
+		// quirks don't matter for partitioning.
+		for _, b := range []byte(v.String()) {
+			mix(b)
+		}
+	case wm.KindSym, wm.KindStr:
+		for _, b := range []byte(v.S) {
+			mix(b)
+		}
+	}
+	return int64(h >> 1) // clear the sign bit
+}
+
+func evalArith(op Builtin, args []wm.Value) (wm.Value, error) {
+	name := map[Builtin]string{BAdd: "+", BSub: "-", BMul: "*", BDiv: "div", BMod: "mod", BMin: "min", BMax: "max"}[op]
+	allInt := true
+	for _, a := range args {
+		if !a.IsNumeric() {
+			return wm.Value{}, &EvalError{Op: name, Msg: fmt.Sprintf("non-numeric operand %s", a)}
+		}
+		if a.Kind != wm.KindInt {
+			allInt = false
+		}
+	}
+	if len(args) == 0 {
+		return wm.Value{}, &EvalError{Op: name, Msg: "no operands"}
+	}
+	// Unary minus.
+	if op == BSub && len(args) == 1 {
+		if allInt {
+			return wm.Int(-args[0].I), nil
+		}
+		return wm.Float(-args[0].AsFloat()), nil
+	}
+	if allInt {
+		acc := args[0].I
+		for _, a := range args[1:] {
+			switch op {
+			case BAdd:
+				acc += a.I
+			case BSub:
+				acc -= a.I
+			case BMul:
+				acc *= a.I
+			case BDiv:
+				if a.I == 0 {
+					return wm.Value{}, &EvalError{Op: name, Msg: "division by zero"}
+				}
+				acc /= a.I
+			case BMod:
+				if a.I == 0 {
+					return wm.Value{}, &EvalError{Op: name, Msg: "division by zero"}
+				}
+				acc %= a.I
+			case BMin:
+				if a.I < acc {
+					acc = a.I
+				}
+			case BMax:
+				if a.I > acc {
+					acc = a.I
+				}
+			}
+		}
+		return wm.Int(acc), nil
+	}
+	acc := args[0].AsFloat()
+	for _, a := range args[1:] {
+		f := a.AsFloat()
+		switch op {
+		case BAdd:
+			acc += f
+		case BSub:
+			acc -= f
+		case BMul:
+			acc *= f
+		case BDiv:
+			if f == 0 {
+				return wm.Value{}, &EvalError{Op: name, Msg: "division by zero"}
+			}
+			acc /= f
+		case BMod:
+			return wm.Value{}, &EvalError{Op: name, Msg: "mod requires integer operands"}
+		case BMin:
+			if f < acc {
+				acc = f
+			}
+		case BMax:
+			if f > acc {
+				acc = f
+			}
+		}
+	}
+	return wm.Float(acc), nil
+}

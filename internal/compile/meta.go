@@ -1,0 +1,81 @@
+package compile
+
+import "parulel/internal/wm"
+
+// MetaRule is a compiled PARULEL redaction meta-rule. Meta-rules match
+// tuples of *distinct* instantiations in the conflict set and name which of
+// them to redact.
+type MetaRule struct {
+	Name  string
+	Index int
+	// Patterns are the instantiation patterns in source order.
+	Patterns []*InstPattern
+	// Tests are additional filters over the full tuple.
+	Tests []*Expr
+	// Redacts indexes Patterns: the instantiations deleted when the
+	// meta-rule matches.
+	Redacts []int
+}
+
+// InstPattern is a compiled instantiation pattern `[<i> (rule ^var term …)]`.
+// Slot tests are split the same way object patterns are: constant tests
+// evaluable on a single instantiation, intra-pattern tests between two
+// variables of the same instantiation, and join tests against
+// earlier patterns of the meta-rule.
+type InstPattern struct {
+	// Rule is the object rule whose instantiations this pattern matches.
+	Rule *Rule
+	// ConstTests compare an object-rule variable of the instantiation with
+	// a constant.
+	ConstTests []MetaConstTest
+	// DisjTests require an object-rule variable to take one of a set of
+	// constant values.
+	DisjTests []MetaDisjTest
+	// IntraTests compare two object-rule variables of the same
+	// instantiation.
+	IntraTests []MetaIntraTest
+	// JoinTests compare an object-rule variable with one of an
+	// instantiation matched by an earlier pattern.
+	JoinTests []MetaJoinTest
+}
+
+// MetaConstTest compares instantiation value at Ref with a constant.
+type MetaConstTest struct {
+	Ref VarRef
+	Op  PredOp
+	Val wm.Value
+}
+
+// MetaDisjTest requires the instantiation value at Ref to equal one of
+// the constants (`<< a b c >>` in an instantiation pattern).
+type MetaDisjTest struct {
+	Ref  VarRef
+	Vals []wm.Value
+}
+
+// Matches reports whether v equals one of the disjunction's values.
+func (t MetaDisjTest) Matches(v wm.Value) bool {
+	for _, x := range t.Vals {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// MetaIntraTest compares two values of the same instantiation.
+type MetaIntraTest struct {
+	Ref      VarRef
+	Op       PredOp
+	OtherRef VarRef
+}
+
+// MetaJoinTest compares a value of this pattern's instantiation with a
+// value of the instantiation matched by pattern OtherPat (< this pattern's
+// index).
+type MetaJoinTest struct {
+	Ref      VarRef
+	Op       PredOp
+	OtherPat int
+	OtherRef VarRef
+}

@@ -1,0 +1,112 @@
+package copycon
+
+import (
+	"fmt"
+	"sort"
+
+	"parulel/internal/lang"
+)
+
+// Advice is a copy-and-constrain recommendation.
+type Advice struct {
+	Rule     string // the hot rule to split
+	Variable string // the variable to hash-partition on
+	Activity int    // the rule's observed instantiation count
+}
+
+// Advise recommends which rule to split and on which variable, given the
+// per-rule instantiation activity observed by an engine run
+// (core.Engine.RuleActivity). It picks the most active rule that is
+// splittable (binds at least one variable and is not referenced by a
+// meta-rule) and, within it, the variable whose bare occurrences span the
+// most positive condition elements — a join variable distributes the join
+// work itself, not just the final instantiations.
+//
+// Advise returns an error when no observed rule is splittable.
+func Advise(prog *lang.Program, activity map[string]int) (Advice, error) {
+	metaReferenced := make(map[string]bool)
+	for _, m := range prog.MetaRules {
+		for _, p := range m.Patterns {
+			metaReferenced[p.RuleName] = true
+		}
+	}
+	// Consider rules by activity, descending; ties by name for
+	// determinism.
+	type cand struct {
+		name  string
+		count int
+	}
+	cands := make([]cand, 0, len(activity))
+	for name, count := range activity {
+		cands = append(cands, cand{name, count})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		return cands[i].name < cands[j].name
+	})
+	for _, c := range cands {
+		if metaReferenced[c.name] {
+			continue
+		}
+		rule := findRule(prog, c.name)
+		if rule == nil {
+			continue
+		}
+		v := bestVariable(rule)
+		if v == "" {
+			continue
+		}
+		return Advice{Rule: c.name, Variable: v, Activity: c.count}, nil
+	}
+	return Advice{}, fmt.Errorf("copycon: no splittable rule among the observed activity")
+}
+
+func findRule(prog *lang.Program, name string) *lang.Rule {
+	for _, r := range prog.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// bestVariable returns the variable with bare occurrences in the most
+// positive condition elements (ties broken by first occurrence in source
+// order), or "" if the rule binds none.
+func bestVariable(r *lang.Rule) string {
+	ceCount := make(map[string]int)
+	firstSeen := make(map[string]int)
+	order := 0
+	for _, ce := range r.LHS {
+		if ce.Pattern == nil || ce.Negated {
+			continue
+		}
+		seenHere := make(map[string]bool)
+		for _, s := range ce.Pattern.Slots {
+			v, ok := s.Term.(lang.VarTerm)
+			if !ok || seenHere[v.Name] {
+				continue
+			}
+			seenHere[v.Name] = true
+			ceCount[v.Name]++
+			if _, ok := firstSeen[v.Name]; !ok {
+				firstSeen[v.Name] = order
+				order++
+			}
+		}
+	}
+	best := ""
+	for v := range ceCount {
+		if best == "" {
+			best = v
+			continue
+		}
+		if ceCount[v] > ceCount[best] ||
+			(ceCount[v] == ceCount[best] && firstSeen[v] < firstSeen[best]) {
+			best = v
+		}
+	}
+	return best
+}

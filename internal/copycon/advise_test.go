@@ -1,0 +1,117 @@
+package copycon
+
+import (
+	"strings"
+	"testing"
+
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/lang"
+	"parulel/internal/workload"
+)
+
+func TestAdvisePicksJoinVariableOfHottestRule(t *testing.T) {
+	prog := parseOK(t, `
+(literalize order id region amount)
+(literalize quote id region price)
+(rule hot
+  (order ^id <o> ^region <r> ^amount <a>)
+  (quote ^id <q> ^region <r> ^price <p>)
+-->
+  (make order ^id <o>))
+(rule cold
+  (order ^id <o>)
+-->
+  (halt))
+`)
+	adv, err := Advise(prog, map[string]int{"hot": 5000, "cold": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Rule != "hot" {
+		t.Errorf("rule = %q, want hot", adv.Rule)
+	}
+	// <r> spans both CEs; <o>, <a>, <q>, <p> span one.
+	if adv.Variable != "r" {
+		t.Errorf("variable = %q, want r (the join variable)", adv.Variable)
+	}
+	if adv.Activity != 5000 {
+		t.Errorf("activity = %d", adv.Activity)
+	}
+	// The advice must be actionable.
+	if _, err := Split(prog, adv.Rule, adv.Variable, 4); err != nil {
+		t.Errorf("advised split failed: %v", err)
+	}
+}
+
+func TestAdviseSkipsMetaReferencedRules(t *testing.T) {
+	prog := parseOK(t, `
+(literalize a x)
+(rule guarded (a ^x <v>) --> (halt))
+(rule free    (a ^x <w>) --> (halt))
+(metarule m
+  [<i> (guarded ^v <v1>)]
+  [<j> (guarded ^v <v2>)]
+  (test (precedes <i> <j>))
+-->
+  (redact <j>))
+`)
+	adv, err := Advise(prog, map[string]int{"guarded": 100, "free": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Rule != "free" {
+		t.Errorf("rule = %q, want free (guarded is meta-referenced)", adv.Rule)
+	}
+}
+
+func TestAdviseErrorsWhenNothingSplittable(t *testing.T) {
+	prog := parseOK(t, `
+(literalize a x)
+(rule constant-only (a ^x 1) --> (halt))
+`)
+	if _, err := Advise(prog, map[string]int{"constant-only": 10}); err == nil {
+		t.Error("rule binding no variable should not be advised")
+	}
+	if _, err := Advise(prog, nil); err == nil {
+		t.Error("empty activity should error")
+	}
+	if _, err := Advise(prog, map[string]int{"ghost": 10}); err == nil {
+		t.Error("activity for unknown rule should error")
+	}
+}
+
+// TestAdviseEndToEnd: run the hot-rule workload, feed the measured
+// activity back, and verify the advisor recommends the hot rule with a
+// region-style variable.
+func TestAdviseEndToEnd(t *testing.T) {
+	ast, err := lang.Parse(workload.HotRuleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compile.Compile(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.New(prog, core.Options{MaxCycles: 100})
+	if err := workload.HotRuleFacts(e, 4, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := Advise(ast, e.RuleActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Rule != "assign" || adv.Variable != "r" {
+		t.Errorf("advice = %+v, want assign on r", adv)
+	}
+	split, err := Split(ast, adv.Rule, adv.Variable, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Rules) != 4 || !strings.HasPrefix(split.Rules[0].Name, "assign@") {
+		t.Errorf("split rules: %v", split.Rules)
+	}
+}

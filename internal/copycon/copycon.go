@@ -1,0 +1,121 @@
+// Package copycon implements PARULEL's copy-and-constrain transformation
+// (Stolfo & Ishida): a "hot" rule whose match work or firings dominate is
+// replaced by k copies, each constrained to a disjoint hash partition of
+// one of its variables:
+//
+//	(rule r@0 … (test (= (mod (hash <v>) k) 0)) --> …)
+//	(rule r@1 … (test (= (mod (hash <v>) k) 1)) --> …)
+//	…
+//
+// Because the added constraints partition the variable's value space, the
+// union of the variants' instantiation sets equals the original rule's set
+// and the variants are pairwise disjoint (a property test checks this).
+// With the engine's round-robin rule partitioning, the variants land on
+// different workers and a single hot rule's match and firings distribute —
+// experiment E3 measures the resulting scaling.
+package copycon
+
+import (
+	"fmt"
+
+	"parulel/internal/lang"
+	"parulel/internal/wm"
+)
+
+// Split returns a copy of the program in which the named rule is replaced
+// by k hash-partitioned variants constrained on the rule variable varName.
+// The variants are named name@0 … name@k-1 and occupy the original rule's
+// position in declaration order.
+//
+// A rule referenced by a meta-rule cannot be split: the meta-rule's
+// instantiation patterns name the original rule and would silently stop
+// matching. Split reports this as an error rather than guessing.
+func Split(prog *lang.Program, ruleName, varName string, k int) (*lang.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("copycon: split factor %d must be >= 1", k)
+	}
+	var target *lang.Rule
+	for _, r := range prog.Rules {
+		if r.Name == ruleName {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("copycon: rule %q not found", ruleName)
+	}
+	for _, m := range prog.MetaRules {
+		for _, p := range m.Patterns {
+			if p.RuleName == ruleName {
+				return nil, fmt.Errorf("copycon: rule %q is referenced by metarule %q and cannot be split", ruleName, m.Name)
+			}
+		}
+	}
+	if !bindsVariable(target, varName) {
+		return nil, fmt.Errorf("copycon: rule %q does not bind variable <%s> in a positive element", ruleName, varName)
+	}
+
+	out := &lang.Program{
+		Templates: prog.Templates,
+		MetaRules: prog.MetaRules,
+		Facts:     prog.Facts,
+	}
+	for _, r := range prog.Rules {
+		if r != target {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		for i := 0; i < k; i++ {
+			out.Rules = append(out.Rules, variant(target, varName, k, i))
+		}
+	}
+	return out, nil
+}
+
+// bindsVariable reports whether the rule binds varName in a positive
+// pattern element with a bare variable occurrence (the kind the compiler
+// accepts as a defining occurrence).
+func bindsVariable(r *lang.Rule, varName string) bool {
+	for _, ce := range r.LHS {
+		if ce.Pattern == nil || ce.Negated {
+			continue
+		}
+		for _, s := range ce.Pattern.Slots {
+			if v, ok := s.Term.(lang.VarTerm); ok && v.Name == varName {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// variant builds copy i of k: the original rule plus the partition test.
+// AST nodes other than the LHS slice are shared — they are read-only after
+// parsing.
+func variant(r *lang.Rule, varName string, k, i int) *lang.Rule {
+	constraint := &lang.CondElem{
+		Pos: r.Pos,
+		Test: &lang.CallExpr{
+			Op: "=",
+			Args: []lang.Expr{
+				&lang.CallExpr{
+					Op: "mod",
+					Args: []lang.Expr{
+						&lang.CallExpr{Op: "hash", Args: []lang.Expr{&lang.VarExpr{Name: varName}}},
+						&lang.ConstExpr{Val: wm.Int(int64(k))},
+					},
+				},
+				&lang.ConstExpr{Val: wm.Int(int64(i))},
+			},
+		},
+	}
+	lhs := make([]*lang.CondElem, 0, len(r.LHS)+1)
+	lhs = append(lhs, r.LHS...)
+	lhs = append(lhs, constraint)
+	return &lang.Rule{
+		Pos:  r.Pos,
+		Name: fmt.Sprintf("%s@%d", r.Name, i),
+		LHS:  lhs,
+		RHS:  r.RHS,
+	}
+}

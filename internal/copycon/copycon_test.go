@@ -1,0 +1,176 @@
+package copycon
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parulel/internal/compile"
+	"parulel/internal/lang"
+	"parulel/internal/match/rete"
+	"parulel/internal/wm"
+)
+
+const hotRuleSrc = `
+(literalize order id region amount)
+(literalize quote id region price)
+(rule hot
+  (order ^id <o> ^region <r> ^amount <a>)
+  (quote ^id <q> ^region <r> ^price (<= <a>))
+-->
+  (make order ^id <o>))
+(rule other
+  (order ^id <o>)
+-->
+  (halt))
+`
+
+func parseOK(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSplitShapeAndNames(t *testing.T) {
+	ast := parseOK(t, hotRuleSrc)
+	out, err := Split(ast, "hot", "r", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 5 {
+		t.Fatalf("rules = %d, want 5 (4 variants + other)", len(out.Rules))
+	}
+	for i := 0; i < 4; i++ {
+		r := out.Rules[i]
+		want := fmt.Sprintf("hot@%d", i)
+		if r.Name != want {
+			t.Errorf("rule %d name = %q, want %q", i, r.Name, want)
+		}
+		if len(r.LHS) != len(ast.Rules[0].LHS)+1 {
+			t.Errorf("variant %d should gain exactly one test element", i)
+		}
+	}
+	if out.Rules[4].Name != "other" {
+		t.Errorf("untouched rule displaced: %q", out.Rules[4].Name)
+	}
+	// The transformed program must compile and print.
+	if _, err := compile.Compile(out); err != nil {
+		t.Fatalf("split program does not compile: %v", err)
+	}
+	printed := lang.Print(out)
+	if !strings.Contains(printed, "hot@0") || !strings.Contains(printed, "(mod (hash <r>) 4)") {
+		t.Errorf("printed form missing constraint:\n%s", printed)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	ast := parseOK(t, hotRuleSrc)
+	if _, err := Split(ast, "ghost", "r", 2); err == nil {
+		t.Error("unknown rule should fail")
+	}
+	if _, err := Split(ast, "hot", "zz", 2); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	if _, err := Split(ast, "hot", "r", 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	withMeta := parseOK(t, hotRuleSrc+`
+(metarule m [<i> (hot ^o <o>)] [<j> (hot ^o <o>)] (test (precedes <i> <j>)) --> (redact <j>))
+`)
+	if _, err := Split(withMeta, "hot", "r", 2); err == nil ||
+		!strings.Contains(err.Error(), "metarule") {
+		t.Errorf("split of meta-referenced rule: err = %v", err)
+	}
+}
+
+// TestSplitPartitionsInstantiations is the partition property: for random
+// working memories, the variants' instantiation sets are pairwise disjoint
+// and their union equals the original rule's set (modulo the rule name in
+// the key).
+func TestSplitPartitionsInstantiations(t *testing.T) {
+	ast := parseOK(t, hotRuleSrc)
+	orig, err := compile.Compile(parseOK(t, hotRuleSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 8} {
+		splitAST, err := Split(ast, "hot", "r", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := compile.Compile(splitAST)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			origNet := rete.New(orig.Rules[:1])
+			var variants []*compile.Rule
+			for _, r := range sp.Rules {
+				if strings.HasPrefix(r.Name, "hot@") {
+					variants = append(variants, r)
+				}
+			}
+			splitNet := rete.New(variants)
+
+			origMem := wm.NewMemory(orig.Schema)
+			splitMem := wm.NewMemory(sp.Schema)
+			for i := 0; i < 80; i++ {
+				tmpl := "order"
+				fields := map[string]wm.Value{
+					"id":     wm.Int(int64(i)),
+					"region": wm.Sym(fmt.Sprintf("reg%d", rng.Intn(6))),
+					"amount": wm.Int(int64(rng.Intn(50))),
+				}
+				if rng.Intn(2) == 0 {
+					tmpl = "quote"
+					fields = map[string]wm.Value{
+						"id":     wm.Int(int64(i)),
+						"region": wm.Sym(fmt.Sprintf("reg%d", rng.Intn(6))),
+						"price":  wm.Int(int64(rng.Intn(50))),
+					}
+				}
+				ow, err := origMem.Insert(tmpl, fields)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sw, err := splitMem.Insert(tmpl, fields)
+				if err != nil {
+					t.Fatal(err)
+				}
+				origNet.Apply(wm.Delta{Added: []*wm.WME{ow}})
+				splitNet.Apply(wm.Delta{Added: []*wm.WME{sw}})
+			}
+
+			// Compare WME time-tag vectors (rule identity differs).
+			vecOf := func(key string) string {
+				_, rest, _ := strings.Cut(key, ":")
+				return rest
+			}
+			origSet := make(map[string]bool)
+			for _, in := range origNet.ConflictSet() {
+				origSet[vecOf(in.Key())] = true
+			}
+			splitSet := make(map[string]bool)
+			for _, in := range splitNet.ConflictSet() {
+				v := vecOf(in.Key())
+				if splitSet[v] {
+					t.Fatalf("k=%d seed=%d: vector %s matched by two variants (not disjoint)", k, seed, v)
+				}
+				splitSet[v] = true
+			}
+			if len(origSet) != len(splitSet) {
+				t.Fatalf("k=%d seed=%d: union size %d != original %d", k, seed, len(splitSet), len(origSet))
+			}
+			for v := range origSet {
+				if !splitSet[v] {
+					t.Fatalf("k=%d seed=%d: vector %s lost by split", k, seed, v)
+				}
+			}
+		}
+	}
+}

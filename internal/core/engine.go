@@ -1,0 +1,406 @@
+// Package core implements the PARULEL execution engine — the paper's
+// primary contribution. Each cycle:
+//
+//  1. MATCH: the pending working-memory delta is applied to every worker's
+//     matcher partition in parallel, producing the conflict set.
+//  2. REDACT: the programmer's meta-rules run to a fixed point in
+//     synchronous rounds, deleting (redacting) instantiations that must
+//     not fire together — this replaces OPS5's built-in serial conflict
+//     resolution with programmable, set-oriented conflict resolution.
+//  3. FIRE: every surviving instantiation fires; right-hand sides are
+//     evaluated in parallel across the workers, with effects buffered.
+//  4. APPLY: the buffered effects are reconciled deterministically into
+//     one working-memory delta, write conflicts are counted, and the
+//     cycle repeats until quiescence or halt.
+//
+// The engine is deterministic: for a fixed program and initial working
+// memory, the result is identical for any worker count (a property the
+// tests check), because time tags, conflict resolution and output ordering
+// are all derived from the deterministic instantiation order, never from
+// goroutine scheduling.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"parulel/internal/compile"
+	"parulel/internal/match"
+	"parulel/internal/match/rete"
+	"parulel/internal/stats"
+	"parulel/internal/wm"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of parallel workers for match and fire. Rules
+	// are partitioned round-robin across workers. Values < 1 mean 1.
+	Workers int
+	// Matcher builds each worker's match network. Default: rete.New.
+	Matcher match.Factory
+	// Output receives `(write …)` text. Default: io.Discard.
+	Output io.Writer
+	// MaxCycles aborts runaway programs. 0 means no limit.
+	MaxCycles int
+	// Trace, when non-nil, receives a one-line summary per cycle.
+	Trace io.Writer
+	// DisableRedactionIndex turns off the redactor's equality-join hash
+	// index, forcing nested-loop meta-rule matching (ablation E7).
+	DisableRedactionIndex bool
+	// SequentialRedaction switches redaction from the default synchronous
+	// semantics (all meta matches against the full eligible set apply at
+	// once; mutual redactions kill both) to sequential semantics
+	// (meta-rules apply in declaration order with immediate effect, so a
+	// redacted instantiation cannot justify later redactions). Explored
+	// by ablation E8.
+	SequentialRedaction bool
+	// Partition selects how rules are distributed over workers (ablation
+	// E9). The choice changes only load balance, never results.
+	Partition Partition
+}
+
+// Partition is a rule-to-worker distribution strategy.
+type Partition uint8
+
+// Partition strategies.
+const (
+	// PartitionRoundRobin deals rules to workers in declaration order.
+	PartitionRoundRobin Partition = iota
+	// PartitionBlock gives each worker a contiguous block of rules —
+	// the worst case when expensive rules cluster together in the source.
+	PartitionBlock
+	// PartitionLPT assigns each rule, in decreasing static cost order
+	// (LHS specificity as the proxy), to the least-loaded worker —
+	// classic longest-processing-time balancing.
+	PartitionLPT
+)
+
+func (p Partition) String() string {
+	switch p {
+	case PartitionBlock:
+		return "block"
+	case PartitionLPT:
+		return "lpt"
+	default:
+		return "round-robin"
+	}
+}
+
+// partitionRules distributes rules over n workers per the strategy.
+func partitionRules(rules []*compile.Rule, n int, strategy Partition) [][]*compile.Rule {
+	parts := make([][]*compile.Rule, n)
+	switch strategy {
+	case PartitionBlock:
+		per := (len(rules) + n - 1) / n
+		for i, r := range rules {
+			w := i / per
+			parts[w] = append(parts[w], r)
+		}
+	case PartitionLPT:
+		order := make([]*compile.Rule, len(rules))
+		copy(order, rules)
+		sort.SliceStable(order, func(i, j int) bool { return order[i].Specificity > order[j].Specificity })
+		load := make([]int, n)
+		for _, r := range order {
+			w := 0
+			for k := 1; k < n; k++ {
+				if load[k] < load[w] {
+					w = k
+				}
+			}
+			parts[w] = append(parts[w], r)
+			load[w] += r.Specificity
+		}
+	default: // round-robin
+		for i, r := range rules {
+			parts[i%n] = append(parts[i%n], r)
+		}
+	}
+	return parts
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles          int
+	Firings         int
+	Redactions      int
+	RedactionRounds int
+	// WriteConflicts counts same-WME modify/remove collisions between
+	// distinct instantiations within one cycle — PARULEL's signal that the
+	// meta-rule program under-constrains parallel firing (experiment E6).
+	WriteConflicts int
+	Halted         bool
+	Stats          *stats.Run
+}
+
+// ErrMaxCycles is returned when Options.MaxCycles is exceeded.
+var ErrMaxCycles = errors.New("core: maximum cycle count exceeded")
+
+// Engine executes a compiled PARULEL program.
+type Engine struct {
+	prog    *compile.Program
+	mem     *wm.Memory
+	opts    Options
+	workers []*worker
+
+	// conflictSet is the union of all workers' conflict sets, by key.
+	conflictSet map[string]*match.Instantiation
+	// fired holds refraction state: keys of instantiations that have fired
+	// and are still continuously present in the conflict set.
+	fired map[string]bool
+
+	pending wm.Delta
+	redact  *redactor
+	result  Result
+	halted  bool
+	// activity counts instantiations entering the conflict set per rule,
+	// feeding the copy-and-constrain advisor (copycon.Advise).
+	activity map[string]int
+}
+
+// worker owns one rule partition and its matcher.
+type worker struct {
+	matcher match.Matcher
+	changes match.Changes
+	// matchWork and fireWork accumulate this worker's busy time across
+	// the run. On a single-core host wall-clock speedup is unobservable,
+	// but sum(work)/max(work) still measures how well the program's match
+	// and fire load distributes — the quantity experiments E2/E3 report
+	// as "potential speedup".
+	matchWork time.Duration
+	fireWork  time.Duration
+}
+
+// New creates an engine. Initial facts declared in `(wm …)` blocks are
+// queued for the first cycle.
+func New(prog *compile.Program, opts Options) *Engine {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Matcher == nil {
+		opts.Matcher = rete.New
+	}
+	if opts.Output == nil {
+		opts.Output = io.Discard
+	}
+	e := &Engine{
+		prog:        prog,
+		mem:         wm.NewMemory(prog.Schema),
+		opts:        opts,
+		conflictSet: make(map[string]*match.Instantiation),
+		fired:       make(map[string]bool),
+		redact:      newRedactor(prog.MetaRules, opts.Workers, opts.DisableRedactionIndex, opts.SequentialRedaction),
+		result:      Result{Stats: &stats.Run{}},
+		activity:    make(map[string]int),
+	}
+	// Distribute rules across workers. Workers with no rules are dropped
+	// so tiny programs don't pay for idle goroutines.
+	parts := partitionRules(prog.Rules, opts.Workers, opts.Partition)
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		e.workers = append(e.workers, &worker{matcher: opts.Matcher(part)})
+	}
+	if len(e.workers) == 0 {
+		// A program with no rules still needs a worker so that Apply and
+		// ConflictSet calls are well-defined.
+		e.workers = append(e.workers, &worker{matcher: opts.Matcher(nil)})
+	}
+	for _, f := range prog.Facts {
+		w := e.mem.InsertFields(f.Tmpl, append([]wm.Value(nil), f.Fields...))
+		e.pending.Added = append(e.pending.Added, w)
+	}
+	return e
+}
+
+// Memory exposes the working memory (e.g. for assertions after Run).
+func (e *Engine) Memory() *wm.Memory { return e.mem }
+
+// Insert queues a fact programmatically (workload generators use this
+// instead of `(wm …)` blocks).
+func (e *Engine) Insert(template string, fields map[string]wm.Value) (*wm.WME, error) {
+	w, err := e.mem.Insert(template, fields)
+	if err != nil {
+		return nil, err
+	}
+	e.pending.Added = append(e.pending.Added, w)
+	return w, nil
+}
+
+// InsertFields queues a fact with a positional field vector.
+func (e *Engine) InsertFields(t *wm.Template, fields []wm.Value) *wm.WME {
+	w := e.mem.InsertFields(t, fields)
+	e.pending.Added = append(e.pending.Added, w)
+	return w
+}
+
+// Run executes cycles until quiescence, halt, or the cycle limit.
+func (e *Engine) Run() (Result, error) {
+	for {
+		progress, err := e.Step()
+		if err != nil {
+			return e.result, err
+		}
+		if !progress {
+			return e.result, nil
+		}
+		if e.opts.MaxCycles > 0 && e.result.Cycles >= e.opts.MaxCycles {
+			return e.result, fmt.Errorf("%w (%d)", ErrMaxCycles, e.opts.MaxCycles)
+		}
+	}
+}
+
+// Step runs one full cycle. It returns false when the engine has reached
+// quiescence (no eligible instantiations) or was halted.
+func (e *Engine) Step() (bool, error) {
+	if e.halted {
+		return false, nil
+	}
+	var cyc stats.Cycle
+
+	// MATCH: apply the pending delta to every partition in parallel.
+	t0 := time.Now()
+	e.applyDelta(e.pending)
+	e.pending = wm.Delta{}
+	cyc.Match = time.Since(t0)
+
+	// Eligible = conflict set minus refraction.
+	eligible := make([]*match.Instantiation, 0, len(e.conflictSet))
+	for k, in := range e.conflictSet {
+		if !e.fired[k] {
+			eligible = append(eligible, in)
+		}
+	}
+	match.SortInstantiations(eligible)
+	cyc.ConflictSize = len(eligible)
+	if len(eligible) == 0 {
+		return false, nil
+	}
+
+	// REDACT: meta-rule fixpoint.
+	t0 = time.Now()
+	survivors, rounds, redacted := e.redact.run(eligible)
+	cyc.Redact = time.Since(t0)
+	cyc.Redacted = redacted
+	e.result.Redactions += redacted
+	e.result.RedactionRounds += rounds
+
+	if len(survivors) == 0 {
+		// Everything was redacted: treat as quiescence to avoid spinning
+		// (nothing will change WM, so the next cycle would redact the
+		// same set again).
+		e.result.Stats.Add(cyc)
+		e.result.Cycles++
+		return false, nil
+	}
+
+	// FIRE: evaluate all surviving RHSes in parallel.
+	t0 = time.Now()
+	effects, err := e.fireAll(survivors)
+	cyc.Fire = time.Since(t0)
+	if err != nil {
+		return false, err
+	}
+	cyc.Fired = len(survivors)
+	e.result.Firings += len(survivors)
+	for _, in := range survivors {
+		e.fired[in.Key()] = true
+	}
+
+	// APPLY: reconcile effects into one deterministic WM delta.
+	t0 = time.Now()
+	delta, conflicts, halted, err := e.commit(effects)
+	cyc.Apply = time.Since(t0)
+	if err != nil {
+		return false, err
+	}
+	cyc.DeltaSize = delta.Size()
+	e.result.WriteConflicts += conflicts
+	e.pending = delta
+	e.halted = halted
+
+	e.result.Stats.Add(cyc)
+	e.result.Cycles++
+	e.result.Halted = halted
+	if e.opts.Trace != nil {
+		fmt.Fprintf(e.opts.Trace, "cycle %d: eligible=%d redacted=%d fired=%d delta=%d conflicts=%d\n",
+			e.result.Cycles, cyc.ConflictSize, cyc.Redacted, cyc.Fired, cyc.DeltaSize, conflicts)
+	}
+	if halted {
+		return false, nil
+	}
+	return true, nil
+}
+
+// applyDelta feeds the delta to every worker concurrently and folds the
+// conflict-set changes into the engine's global view.
+func (e *Engine) applyDelta(delta wm.Delta) {
+	if len(e.workers) == 1 {
+		w := e.workers[0]
+		t0 := time.Now()
+		w.changes = w.matcher.Apply(delta)
+		w.matchWork += time.Since(t0)
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range e.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				t0 := time.Now()
+				w.changes = w.matcher.Apply(delta)
+				w.matchWork += time.Since(t0)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, w := range e.workers {
+		for _, in := range w.changes.Removed {
+			delete(e.conflictSet, in.Key())
+			delete(e.fired, in.Key())
+		}
+		for _, in := range w.changes.Added {
+			e.conflictSet[in.Key()] = in
+			e.activity[in.Rule.Name]++
+		}
+		w.changes = match.Changes{}
+	}
+}
+
+// RuleActivity returns, per rule, how many instantiations entered the
+// conflict set over the run so far — the hot-rule signal the
+// copy-and-constrain advisor consumes.
+func (e *Engine) RuleActivity() map[string]int {
+	out := make(map[string]int, len(e.activity))
+	for k, v := range e.activity {
+		out[k] = v
+	}
+	return out
+}
+
+// WorkerWork returns each worker's accumulated match and fire busy time.
+// sum/max of the match column is the match-parallelism "potential
+// speedup" reported by experiments E2/E3 — meaningful even on a
+// single-core host where wall-clock speedup cannot show.
+func (e *Engine) WorkerWork() (matchWork, fireWork []time.Duration) {
+	for _, w := range e.workers {
+		matchWork = append(matchWork, w.matchWork)
+		fireWork = append(fireWork, w.fireWork)
+	}
+	return matchWork, fireWork
+}
+
+// ConflictSet returns the current global conflict set in deterministic
+// order (mainly for tests and tooling).
+func (e *Engine) ConflictSet() []*match.Instantiation {
+	out := make([]*match.Instantiation, 0, len(e.conflictSet))
+	for _, in := range e.conflictSet {
+		out = append(out, in)
+	}
+	match.SortInstantiations(out)
+	return out
+}

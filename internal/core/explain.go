@@ -1,0 +1,15 @@
+package core
+
+import (
+	"io"
+
+	"parulel/internal/match"
+)
+
+// ExplainConflictSet writes a human-readable listing of the current
+// conflict set: each instantiation's rule, refraction status, matched
+// elements and variable bindings. Intended for debugging rule programs
+// (`parulel run -explain`).
+func (e *Engine) ExplainConflictSet(w io.Writer) error {
+	return match.Explain(w, e.ConflictSet(), e.fired)
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"parulel/internal/compile"
+	"parulel/internal/match"
+	"parulel/internal/wm"
+)
+
+// effect is the buffered outcome of firing one instantiation. Effects are
+// computed in parallel but committed serially in deterministic order.
+type effect struct {
+	makes    []pendingMake
+	removes  []*wm.WME
+	modifies []pendingModify
+	output   []byte
+	halt     bool
+	err      error
+}
+
+type pendingMake struct {
+	tmpl   *wm.Template
+	fields []wm.Value
+}
+
+type pendingModify struct {
+	old    *wm.WME
+	fields []wm.Value
+}
+
+// ruleEnv implements compile.Env for RHS evaluation.
+type ruleEnv struct {
+	inst   *match.Instantiation
+	locals []wm.Value
+}
+
+func (e *ruleEnv) Ref(r compile.VarRef) wm.Value { return e.inst.Binding(r) }
+func (e *ruleEnv) Local(i int) wm.Value          { return e.locals[i] }
+func (e *ruleEnv) MetaVal(int, compile.VarRef) wm.Value {
+	panic("core: object rule RHS has no meta context")
+}
+func (e *ruleEnv) MetaTag(int) int64          { panic("core: object rule RHS has no meta context") }
+func (e *ruleEnv) MetaRuleName(int) string    { panic("core: object rule RHS has no meta context") }
+func (e *ruleEnv) MetaPrecedes(int, int) bool { panic("core: object rule RHS has no meta context") }
+
+// fireAll evaluates every survivor's RHS, in parallel when the engine has
+// more than one worker. The returned slice is indexed like survivors, so
+// commit order is independent of scheduling.
+func (e *Engine) fireAll(survivors []*match.Instantiation) ([]effect, error) {
+	effects := make([]effect, len(survivors))
+	nw := len(e.workers)
+	if nw == 1 || len(survivors) == 1 {
+		t0 := time.Now()
+		for i, in := range survivors {
+			effects[i] = fireOne(in)
+		}
+		e.workers[0].fireWork += time.Since(t0)
+	} else {
+		var wg sync.WaitGroup
+		for wk := 0; wk < nw; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				t0 := time.Now()
+				for i := wk; i < len(survivors); i += nw {
+					effects[i] = fireOne(survivors[i])
+				}
+				e.workers[wk].fireWork += time.Since(t0)
+			}(wk)
+		}
+		wg.Wait()
+	}
+	for i := range effects {
+		if effects[i].err != nil {
+			return nil, fmt.Errorf("core: firing %s: %w", survivors[i], effects[i].err)
+		}
+	}
+	return effects, nil
+}
+
+// fireOne evaluates one instantiation's RHS into a buffered effect.
+func fireOne(in *match.Instantiation) effect {
+	var eff effect
+	env := &ruleEnv{inst: in}
+	if n := in.Rule.NumLocals; n > 0 {
+		env.locals = make([]wm.Value, n)
+	}
+	var out bytes.Buffer
+	for _, a := range in.Rule.Actions {
+		switch a.Kind {
+		case compile.ActMake:
+			fields := make([]wm.Value, a.Tmpl.Arity())
+			for _, s := range a.Slots {
+				v, err := compile.Eval(s.Expr, env)
+				if err != nil {
+					eff.err = err
+					return eff
+				}
+				fields[s.Field] = v
+			}
+			eff.makes = append(eff.makes, pendingMake{tmpl: a.Tmpl, fields: fields})
+		case compile.ActModify:
+			old := in.WMEs[a.Target]
+			fields := append([]wm.Value(nil), old.Fields...)
+			for _, s := range a.Slots {
+				v, err := compile.Eval(s.Expr, env)
+				if err != nil {
+					eff.err = err
+					return eff
+				}
+				fields[s.Field] = v
+			}
+			eff.modifies = append(eff.modifies, pendingModify{old: old, fields: fields})
+		case compile.ActRemove:
+			for _, t := range a.Targets {
+				eff.removes = append(eff.removes, in.WMEs[t])
+			}
+		case compile.ActBind:
+			if len(a.Exprs) == 0 {
+				// Gensym: unique per (instantiation, bind slot) and
+				// deterministic across worker counts.
+				env.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.Key(), a.Local))
+				continue
+			}
+			v, err := compile.Eval(a.Exprs[0], env)
+			if err != nil {
+				eff.err = err
+				return eff
+			}
+			env.locals[a.Local] = v
+		case compile.ActWrite:
+			for _, x := range a.Exprs {
+				v, err := compile.Eval(x, env)
+				if err != nil {
+					eff.err = err
+					return eff
+				}
+				if v.Kind == wm.KindStr {
+					out.WriteString(v.S)
+				} else {
+					out.WriteString(v.String())
+				}
+			}
+		case compile.ActHalt:
+			eff.halt = true
+		}
+	}
+	eff.output = out.Bytes()
+	return eff
+}
+
+// opKind tracks the first operation claimed on a WME during commit.
+type opKind uint8
+
+const (
+	opRemove opKind = iota + 1
+	opModify
+)
+
+// commit reconciles buffered effects into one working-memory delta.
+//
+// Reconciliation rules (deterministic, order = survivor order):
+//   - a `remove` of a WME already removed this cycle is benign (removes
+//     commute);
+//   - any other second operation on the same WME — modify+modify,
+//     modify+remove, remove+modify — is a *write conflict*: the first
+//     operation wins, the later one is dropped and counted. PARULEL
+//     programs are expected to redact such combinations away with
+//     meta-rules; the count is the interference signal experiment E6
+//     reports.
+func (e *Engine) commit(effects []effect) (wm.Delta, int, bool, error) {
+	var delta wm.Delta
+	conflicts := 0
+	halted := false
+	claimed := make(map[int64]opKind)
+
+	for i := range effects {
+		eff := &effects[i]
+		if eff.halt {
+			halted = true
+		}
+		for _, old := range eff.removes {
+			if k, taken := claimed[old.Time]; taken {
+				if k != opRemove {
+					conflicts++
+				}
+				continue
+			}
+			claimed[old.Time] = opRemove
+			if w, ok := e.mem.Remove(old.Time); ok {
+				delta.Removed = append(delta.Removed, w)
+			}
+		}
+		for _, m := range eff.modifies {
+			if _, taken := claimed[m.old.Time]; taken {
+				conflicts++
+				continue
+			}
+			claimed[m.old.Time] = opModify
+			if w, ok := e.mem.Remove(m.old.Time); ok {
+				delta.Removed = append(delta.Removed, w)
+			}
+			nw := e.mem.InsertFields(m.old.Tmpl, m.fields)
+			delta.Added = append(delta.Added, nw)
+		}
+		for _, mk := range eff.makes {
+			nw := e.mem.InsertFields(mk.tmpl, mk.fields)
+			delta.Added = append(delta.Added, nw)
+		}
+		if len(eff.output) > 0 {
+			if _, err := e.opts.Output.Write(eff.output); err != nil {
+				return delta, conflicts, halted, fmt.Errorf("core: write action output: %w", err)
+			}
+		}
+	}
+	return delta, conflicts, halted, nil
+}

@@ -1,0 +1,216 @@
+package lang
+
+import (
+	"parulel/internal/wm"
+)
+
+// Program is a parsed PARULEL source file: template declarations, object
+// rules, meta-rules and initial working-memory blocks, in source order.
+type Program struct {
+	Templates []*TemplateDecl
+	Rules     []*Rule
+	MetaRules []*MetaRule
+	Facts     []*FactDecl
+}
+
+// TemplateDecl is a `(literalize name attr …)` declaration.
+type TemplateDecl struct {
+	Pos   Pos
+	Name  string
+	Attrs []string
+}
+
+// FactDecl is a top-level `(wm (type ^attr const …) …)` block declaring
+// initial working-memory elements.
+type FactDecl struct {
+	Pos   Pos
+	Facts []*Fact
+}
+
+// Fact is one initial WME: constant attribute values only.
+type Fact struct {
+	Pos   Pos
+	Type  string
+	Slots []FactSlot
+}
+
+// FactSlot is one attribute value of an initial fact.
+type FactSlot struct {
+	Attr string
+	Val  wm.Value
+}
+
+// Rule is an object-level production:
+//
+//	(rule name ce… --> action…)
+type Rule struct {
+	Pos  Pos
+	Name string
+	LHS  []*CondElem
+	RHS  []Action
+}
+
+// CondElem is one left-hand-side element. Exactly one of Pattern and Test
+// is set. A Pattern element may be negated (`-(…)`) or bound to an element
+// variable (`<e> <- (…)`); Test elements (`(test expr)`) are filters over
+// previously bound variables.
+type CondElem struct {
+	Pos     Pos
+	Negated bool
+	Binder  string // element variable name, "" if unbound
+	Pattern *Pattern
+	Test    Expr
+}
+
+// Pattern matches a WME of a given template: `(type ^attr term …)`.
+type Pattern struct {
+	Pos   Pos
+	Type  string
+	Slots []*Slot
+}
+
+// Slot is one attribute test within a pattern.
+type Slot struct {
+	Pos  Pos
+	Attr string
+	Term Term
+}
+
+// Term is a pattern term: ConstTerm, VarTerm, PredTerm or DisjTerm.
+type Term interface{ isTerm() }
+
+// ConstTerm matches an attribute equal (strictly) to a constant.
+type ConstTerm struct{ Val wm.Value }
+
+// VarTerm binds or tests a rule variable.
+type VarTerm struct{ Name string }
+
+// PredTerm applies a comparison to the attribute: `^amount (> 100)` or
+// `^id (<> <x>)`. Op is one of = <> < <= > >=; Arg is a ConstTerm or
+// VarTerm.
+type PredTerm struct {
+	Op  string
+	Arg Term
+}
+
+// DisjTerm matches an attribute equal to any of a set of constants
+// (OPS5 `<< a b c >>`).
+type DisjTerm struct{ Vals []wm.Value }
+
+func (ConstTerm) isTerm() {}
+func (VarTerm) isTerm()   {}
+func (PredTerm) isTerm()  {}
+func (DisjTerm) isTerm()  {}
+
+// Action is a right-hand-side action: one of MakeAction, ModifyAction,
+// RemoveAction, BindAction, WriteAction, HaltAction.
+type Action interface{ isAction() }
+
+// MakeAction creates a WME: `(make type ^attr expr …)`.
+type MakeAction struct {
+	Pos   Pos
+	Type  string
+	Slots []*ActionSlot
+}
+
+// ActionSlot assigns the result of an expression to an attribute.
+type ActionSlot struct {
+	Pos  Pos
+	Attr string
+	Expr Expr
+}
+
+// ModifyAction removes the designated matched element and re-makes it with
+// the given attributes changed: `(modify <e> ^attr expr …)` or
+// `(modify 2 ^attr expr …)` (1-based CE index).
+type ModifyAction struct {
+	Pos    Pos
+	Target Designator
+	Slots  []*ActionSlot
+}
+
+// RemoveAction deletes designated matched elements.
+type RemoveAction struct {
+	Pos     Pos
+	Targets []Designator
+}
+
+// BindAction binds a new rule variable to an expression value, visible to
+// subsequent actions: `(bind <x> expr)`.
+type BindAction struct {
+	Pos  Pos
+	Var  string
+	Expr Expr
+}
+
+// WriteAction prints its evaluated arguments: `(write "x=" <x> (crlf))`.
+type WriteAction struct {
+	Pos  Pos
+	Args []Expr
+}
+
+// HaltAction stops the engine after the current cycle.
+type HaltAction struct{ Pos Pos }
+
+func (*MakeAction) isAction()   {}
+func (*ModifyAction) isAction() {}
+func (*RemoveAction) isAction() {}
+func (*BindAction) isAction()   {}
+func (*WriteAction) isAction()  {}
+func (*HaltAction) isAction()   {}
+
+// Designator names a matched LHS element, either by 1-based condition
+// element index (Var == "") or by element variable.
+type Designator struct {
+	Pos   Pos
+	Index int
+	Var   string
+}
+
+// Expr is an expression: ConstExpr, VarExpr or CallExpr.
+type Expr interface{ isExpr() }
+
+// ConstExpr is a literal value.
+type ConstExpr struct{ Val wm.Value }
+
+// VarExpr references a rule variable (object rules) or meta-variable
+// (meta-rules).
+type VarExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// CallExpr applies a builtin: arithmetic (+ - * div mod), comparison
+// (= <> < <= > >=), boolean (and or not), min/max/abs, (crlf), (tabto …),
+// and in meta-rules (tag <i>) and (rulename <i>).
+type CallExpr struct {
+	Pos  Pos
+	Op   string
+	Args []Expr
+}
+
+func (*ConstExpr) isExpr() {}
+func (*VarExpr) isExpr()   {}
+func (*CallExpr) isExpr()  {}
+
+// MetaRule is a PARULEL redaction meta-rule:
+//
+//	(metarule name [<i> (rulename ^var term …)]… (test expr)… --> (redact <i>)…)
+//
+// Instantiation patterns match *distinct* instantiations of the named
+// object rule; slot attributes refer to the object rule's variable names.
+type MetaRule struct {
+	Pos      Pos
+	Name     string
+	Patterns []*InstPattern
+	Tests    []Expr
+	Redacts  []string // meta-variables of instantiations to redact
+}
+
+// InstPattern matches one instantiation in the conflict set.
+type InstPattern struct {
+	Pos      Pos
+	Var      string // meta-variable bound to the instantiation
+	RuleName string // object rule whose instantiations are matched
+	Slots    []*Slot
+}

@@ -1,0 +1,605 @@
+package lang
+
+import (
+	"parulel/internal/wm"
+)
+
+// Parser is a recursive-descent parser for PARULEL source.
+//
+// Grammar (EBNF, tokens in caps):
+//
+//	program    = { decl } .
+//	decl       = "(" ( literalize | rule | metarule | wmblock ) ")" .
+//	literalize = "literalize" SYM { SYM } .
+//	wmblock    = "wm" { "(" SYM { ATTR constant } ")" } .
+//	rule       = "rule" SYM { condElem } ARROW { action } .
+//	condElem   = [ "-" ] "(" pattern-or-test ")"
+//	           | VAR "<-" "(" pattern ")" .
+//	pattern    = SYM { ATTR term } .
+//	term       = constant | VAR | "(" predOp ( constant | VAR ) ")"
+//	           | "<<" constant { constant } ">>" .
+//	predOp     = "=" | "<>" | "<" | "<=" | ">" | ">=" .
+//	action     = "(" ( make | modify | remove | bind | write | halt ) ")" .
+//	expr       = constant | VAR | "(" SYM { expr } ")" .
+//	metarule   = "metarule" SYM { instPat | testElem } ARROW { redact } .
+//	instPat    = "[" VAR "(" SYM { ATTR term } ")" "]" .
+//	redact     = "(" "redact" VAR { VAR } ")" .
+//	constant   = INT | FLOAT | STRING | SYM .   // SYM "nil" denotes nil
+type Parser struct {
+	lx  *Lexer
+	tok Token
+}
+
+// Parse parses a complete PARULEL source file.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lx: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		if err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		kw, err := p.symbol("declaration keyword")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.Text {
+		case "literalize":
+			d, err := p.parseLiteralize(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Templates = append(prog.Templates, d)
+		case "rule", "p": // `p` is the OPS5 spelling, accepted as an alias
+			r, err := p.parseRule(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, r)
+		case "metarule":
+			m, err := p.parseMetaRule(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.MetaRules = append(prog.MetaRules, m)
+		case "wm":
+			f, err := p.parseWMBlock(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Facts = append(prog.Facts, f)
+		default:
+			return nil, errf(kw.Pos, "parse: unknown declaration %q (want literalize, rule, metarule or wm)", kw.Text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) next() error {
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes a token of the given kind.
+func (p *Parser) expect(k TokKind) error {
+	if p.tok.Kind != k {
+		return errf(p.tok.Pos, "parse: expected %s, found %s", k, p.tok)
+	}
+	return p.next()
+}
+
+// symbol consumes and returns a symbol token.
+func (p *Parser) symbol(what string) (Token, error) {
+	if p.tok.Kind != TokSym {
+		return Token{}, errf(p.tok.Pos, "parse: expected %s (a symbol), found %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *Parser) parseLiteralize(pos Pos) (*TemplateDecl, error) {
+	name, err := p.symbol("template name")
+	if err != nil {
+		return nil, err
+	}
+	d := &TemplateDecl{Pos: pos, Name: name.Text}
+	for p.tok.Kind != TokRParen {
+		a, err := p.symbol("attribute name")
+		if err != nil {
+			return nil, err
+		}
+		d.Attrs = append(d.Attrs, a.Text)
+	}
+	if len(d.Attrs) == 0 {
+		return nil, errf(pos, "parse: literalize %s: at least one attribute required", d.Name)
+	}
+	return d, p.next() // consume ')'
+}
+
+func (p *Parser) parseWMBlock(pos Pos) (*FactDecl, error) {
+	d := &FactDecl{Pos: pos}
+	for p.tok.Kind != TokRParen {
+		if err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		typ, err := p.symbol("template name")
+		if err != nil {
+			return nil, err
+		}
+		f := &Fact{Pos: typ.Pos, Type: typ.Text}
+		for p.tok.Kind != TokRParen {
+			if p.tok.Kind != TokAttr {
+				return nil, errf(p.tok.Pos, "parse: expected ^attribute in wm fact, found %s", p.tok)
+			}
+			attr := p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			v, err := p.constant()
+			if err != nil {
+				return nil, err
+			}
+			f.Slots = append(f.Slots, FactSlot{Attr: attr, Val: v})
+		}
+		if err := p.next(); err != nil { // consume ')'
+			return nil, err
+		}
+		d.Facts = append(d.Facts, f)
+	}
+	return d, p.next()
+}
+
+// constant consumes a literal value token. The symbol `nil` denotes the
+// nil value.
+func (p *Parser) constant() (wm.Value, error) {
+	t := p.tok
+	switch t.Kind {
+	case TokInt:
+		return wm.Int(t.Int), p.next()
+	case TokFloat:
+		return wm.Float(t.Flt), p.next()
+	case TokString:
+		return wm.Str(t.Text), p.next()
+	case TokSym:
+		if t.Text == "nil" {
+			return wm.Nil(), p.next()
+		}
+		return wm.Sym(t.Text), p.next()
+	default:
+		return wm.Value{}, errf(t.Pos, "parse: expected a constant, found %s", t)
+	}
+}
+
+func (p *Parser) parseRule(pos Pos) (*Rule, error) {
+	name, err := p.symbol("rule name")
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Pos: pos, Name: name.Text}
+	// LHS until the arrow.
+	for p.tok.Kind != TokArrow {
+		ce, err := p.parseCondElem()
+		if err != nil {
+			return nil, err
+		}
+		r.LHS = append(r.LHS, ce)
+	}
+	if err := p.next(); err != nil { // consume '-->'
+		return nil, err
+	}
+	for p.tok.Kind != TokRParen {
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		r.RHS = append(r.RHS, a)
+	}
+	if len(r.LHS) == 0 {
+		return nil, errf(pos, "parse: rule %s has an empty left-hand side", r.Name)
+	}
+	return r, p.next()
+}
+
+func (p *Parser) parseCondElem() (*CondElem, error) {
+	ce := &CondElem{Pos: p.tok.Pos}
+	switch {
+	case p.tok.Kind == TokSym && p.tok.Text == "-":
+		ce.Negated = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	case p.tok.Kind == TokVar:
+		ce.Binder = p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokSym || p.tok.Text != "<-" {
+			return nil, errf(p.tok.Pos, "parse: expected '<-' after element variable <%s>, found %s", ce.Binder, p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	head, err := p.symbol("pattern type or 'test'")
+	if err != nil {
+		return nil, err
+	}
+	if head.Text == "test" {
+		if ce.Negated || ce.Binder != "" {
+			return nil, errf(head.Pos, "parse: (test …) elements cannot be negated or bound")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Test = e
+		return ce, p.expect(TokRParen)
+	}
+	if ce.Negated && ce.Binder != "" {
+		return nil, errf(ce.Pos, "parse: a negated element cannot be bound to an element variable")
+	}
+	pat, err := p.parsePatternBody(head)
+	if err != nil {
+		return nil, err
+	}
+	ce.Pattern = pat
+	return ce, nil
+}
+
+// parsePatternBody parses `^attr term …)` after the type symbol has been
+// consumed, including the closing paren.
+func (p *Parser) parsePatternBody(typ Token) (*Pattern, error) {
+	pat := &Pattern{Pos: typ.Pos, Type: typ.Text}
+	for p.tok.Kind != TokRParen {
+		if p.tok.Kind != TokAttr {
+			return nil, errf(p.tok.Pos, "parse: expected ^attribute in pattern (%s …), found %s", typ.Text, p.tok)
+		}
+		slot := &Slot{Pos: p.tok.Pos, Attr: p.tok.Text}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		slot.Term = term
+		pat.Slots = append(pat.Slots, slot)
+	}
+	return pat, p.next()
+}
+
+func isPredOp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseTerm() (Term, error) {
+	switch p.tok.Kind {
+	case TokVar:
+		t := VarTerm{Name: p.tok.Text}
+		return t, p.next()
+	case TokSym:
+		if p.tok.Text == "<<" {
+			pos := p.tok.Pos
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			var d DisjTerm
+			for !(p.tok.Kind == TokSym && p.tok.Text == ">>") {
+				v, err := p.constant()
+				if err != nil {
+					return nil, err
+				}
+				d.Vals = append(d.Vals, v)
+			}
+			if len(d.Vals) == 0 {
+				return nil, errf(pos, "parse: empty disjunction << >>")
+			}
+			return d, p.next() // consume '>>'
+		}
+		v, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		return ConstTerm{Val: v}, nil
+	case TokLParen:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		op, err := p.symbol("predicate operator")
+		if err != nil {
+			return nil, err
+		}
+		if !isPredOp(op.Text) {
+			return nil, errf(op.Pos, "parse: %q is not a predicate operator (want = <> < <= > >=)", op.Text)
+		}
+		arg, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := arg.(PredTerm); nested {
+			return nil, errf(pos, "parse: predicate argument must be a constant or variable")
+		}
+		return PredTerm{Op: op.Text, Arg: arg}, p.expect(TokRParen)
+	default:
+		v, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		return ConstTerm{Val: v}, nil
+	}
+}
+
+func (p *Parser) parseAction() (Action, error) {
+	if err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	op, err := p.symbol("action name")
+	if err != nil {
+		return nil, err
+	}
+	switch op.Text {
+	case "make":
+		typ, err := p.symbol("template name")
+		if err != nil {
+			return nil, err
+		}
+		slots, err := p.parseActionSlots()
+		if err != nil {
+			return nil, err
+		}
+		return &MakeAction{Pos: op.Pos, Type: typ.Text, Slots: slots}, p.expect(TokRParen)
+	case "modify":
+		d, err := p.parseDesignator()
+		if err != nil {
+			return nil, err
+		}
+		slots, err := p.parseActionSlots()
+		if err != nil {
+			return nil, err
+		}
+		if len(slots) == 0 {
+			return nil, errf(op.Pos, "parse: modify with no attribute changes")
+		}
+		return &ModifyAction{Pos: op.Pos, Target: d, Slots: slots}, p.expect(TokRParen)
+	case "remove":
+		a := &RemoveAction{Pos: op.Pos}
+		for p.tok.Kind != TokRParen {
+			d, err := p.parseDesignator()
+			if err != nil {
+				return nil, err
+			}
+			a.Targets = append(a.Targets, d)
+		}
+		if len(a.Targets) == 0 {
+			return nil, errf(op.Pos, "parse: remove with no targets")
+		}
+		return a, p.next()
+	case "bind":
+		if p.tok.Kind != TokVar {
+			return nil, errf(p.tok.Pos, "parse: bind expects a variable, found %s", p.tok)
+		}
+		v := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokRParen {
+			// `(bind <x>)` with no expression: gensym (OPS5 behaviour —
+			// bind a fresh unique symbol).
+			return &BindAction{Pos: op.Pos, Var: v}, p.next()
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BindAction{Pos: op.Pos, Var: v, Expr: e}, p.expect(TokRParen)
+	case "write":
+		a := &WriteAction{Pos: op.Pos}
+		for p.tok.Kind != TokRParen {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = append(a.Args, e)
+		}
+		return a, p.next()
+	case "halt":
+		return &HaltAction{Pos: op.Pos}, p.expect(TokRParen)
+	default:
+		return nil, errf(op.Pos, "parse: unknown action %q", op.Text)
+	}
+}
+
+func (p *Parser) parseActionSlots() ([]*ActionSlot, error) {
+	var slots []*ActionSlot
+	for p.tok.Kind == TokAttr {
+		s := &ActionSlot{Pos: p.tok.Pos, Attr: p.tok.Text}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Expr = e
+		slots = append(slots, s)
+	}
+	return slots, nil
+}
+
+func (p *Parser) parseDesignator() (Designator, error) {
+	switch p.tok.Kind {
+	case TokInt:
+		d := Designator{Pos: p.tok.Pos, Index: int(p.tok.Int)}
+		if d.Index < 1 {
+			return d, errf(p.tok.Pos, "parse: element index must be >= 1, got %d", d.Index)
+		}
+		return d, p.next()
+	case TokVar:
+		d := Designator{Pos: p.tok.Pos, Var: p.tok.Text}
+		return d, p.next()
+	default:
+		return Designator{}, errf(p.tok.Pos, "parse: expected an element index or variable, found %s", p.tok)
+	}
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	switch p.tok.Kind {
+	case TokVar:
+		e := &VarExpr{Pos: p.tok.Pos, Name: p.tok.Text}
+		return e, p.next()
+	case TokLParen:
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		op, err := p.symbol("builtin name")
+		if err != nil {
+			return nil, err
+		}
+		call := &CallExpr{Pos: pos, Op: op.Text}
+		for p.tok.Kind != TokRParen {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+		}
+		return call, p.next()
+	default:
+		v, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Val: v}, nil
+	}
+}
+
+func (p *Parser) parseMetaRule(pos Pos) (*MetaRule, error) {
+	name, err := p.symbol("metarule name")
+	if err != nil {
+		return nil, err
+	}
+	m := &MetaRule{Pos: pos, Name: name.Text}
+	for p.tok.Kind != TokArrow {
+		switch p.tok.Kind {
+		case TokLBrack:
+			ip, err := p.parseInstPattern()
+			if err != nil {
+				return nil, err
+			}
+			m.Patterns = append(m.Patterns, ip)
+		case TokLParen:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			kw, err := p.symbol("'test'")
+			if err != nil {
+				return nil, err
+			}
+			if kw.Text != "test" {
+				return nil, errf(kw.Pos, "parse: metarule %s: only [<i> (rule …)] patterns and (test …) allowed on the LHS, found (%s …)", m.Name, kw.Text)
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Tests = append(m.Tests, e)
+			if err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(p.tok.Pos, "parse: metarule %s: expected '[', '(' or '-->', found %s", m.Name, p.tok)
+		}
+	}
+	if err := p.next(); err != nil { // consume '-->'
+		return nil, err
+	}
+	for p.tok.Kind != TokRParen {
+		if err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		op, err := p.symbol("'redact'")
+		if err != nil {
+			return nil, err
+		}
+		if op.Text != "redact" {
+			return nil, errf(op.Pos, "parse: metarule %s: the only meta action is redact, found %q", m.Name, op.Text)
+		}
+		n := 0
+		for p.tok.Kind == TokVar {
+			m.Redacts = append(m.Redacts, p.tok.Text)
+			n++
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if n == 0 {
+			return nil, errf(op.Pos, "parse: redact expects at least one instantiation variable")
+		}
+		if err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.Patterns) == 0 {
+		return nil, errf(pos, "parse: metarule %s has no instantiation patterns", m.Name)
+	}
+	if len(m.Redacts) == 0 {
+		return nil, errf(pos, "parse: metarule %s redacts nothing", m.Name)
+	}
+	return m, p.next()
+}
+
+func (p *Parser) parseInstPattern() (*InstPattern, error) {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil { // consume '['
+		return nil, err
+	}
+	if p.tok.Kind != TokVar {
+		return nil, errf(p.tok.Pos, "parse: instantiation pattern must start with a meta-variable, found %s", p.tok)
+	}
+	ip := &InstPattern{Pos: pos, Var: p.tok.Text}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	rn, err := p.symbol("object rule name")
+	if err != nil {
+		return nil, err
+	}
+	ip.RuleName = rn.Text
+	for p.tok.Kind != TokRParen {
+		if p.tok.Kind != TokAttr {
+			return nil, errf(p.tok.Pos, "parse: expected ^variable-name in instantiation pattern, found %s", p.tok)
+		}
+		slot := &Slot{Pos: p.tok.Pos, Attr: p.tok.Text}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		slot.Term = term
+		ip.Slots = append(ip.Slots, slot)
+	}
+	if err := p.next(); err != nil { // consume ')'
+		return nil, err
+	}
+	return ip, p.expect(TokRBrack)
+}

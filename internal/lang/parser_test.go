@@ -1,0 +1,264 @@
+package lang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"parulel/internal/wm"
+)
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+const sampleProgram = `
+; The ALEXSYS-style kernel used throughout the docs.
+(literalize pool  id amount status)
+(literalize order id lo hi filled)
+(literalize bid   pool order)
+
+(wm
+  (pool ^id 1 ^amount 100 ^status free)
+  (order ^id 1 ^lo 50 ^hi 150 ^filled no))
+
+(rule propose
+  (pool  ^id <p> ^amount <a> ^status free)
+  (order ^id <o> ^lo <lo> ^hi <hi> ^filled no)
+  (test (and (>= <a> <lo>) (<= <a> <hi>)))
+-->
+  (make bid ^pool <p> ^order <o>))
+
+(rule award
+  <b> <- (bid ^pool <p> ^order <o>)
+  <pl> <- (pool ^id <p>)
+  <or> <- (order ^id <o>)
+  - (veto ^pool <p>)
+-->
+  (modify <pl> ^status allocated)
+  (modify <or> ^filled yes)
+  (remove <b>)
+  (write "awarded pool " <p> " to order " <o> (crlf)))
+
+(metarule one-bid-per-pool
+  [<i> (propose ^p <p> ^o <o1>)]
+  [<j> (propose ^p <p> ^o <o2>)]
+  (test (< <o1> <o2>))
+-->
+  (redact <j>))
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	// `veto` is referenced but undeclared: that is a *compile*-time error,
+	// not a parse error, so declare it to keep this sample self-contained.
+	prog := parseOK(t, sampleProgram+"\n(literalize veto pool)\n")
+	if len(prog.Templates) != 4 {
+		t.Errorf("templates = %d, want 4", len(prog.Templates))
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(prog.Rules))
+	}
+	if len(prog.MetaRules) != 1 {
+		t.Fatalf("metarules = %d, want 1", len(prog.MetaRules))
+	}
+	if len(prog.Facts) != 1 || len(prog.Facts[0].Facts) != 2 {
+		t.Fatalf("facts parsed wrong: %+v", prog.Facts)
+	}
+
+	propose := prog.Rules[0]
+	if propose.Name != "propose" || len(propose.LHS) != 3 || len(propose.RHS) != 1 {
+		t.Fatalf("propose shape wrong: %+v", propose)
+	}
+	if propose.LHS[2].Test == nil {
+		t.Error("third CE of propose should be a test element")
+	}
+	mk, ok := propose.RHS[0].(*MakeAction)
+	if !ok || mk.Type != "bid" || len(mk.Slots) != 2 {
+		t.Fatalf("propose RHS wrong: %+v", propose.RHS[0])
+	}
+
+	award := prog.Rules[1]
+	if award.LHS[0].Binder != "b" {
+		t.Errorf("binder = %q, want b", award.LHS[0].Binder)
+	}
+	if !award.LHS[3].Negated {
+		t.Error("fourth CE of award should be negated")
+	}
+	if _, ok := award.RHS[0].(*ModifyAction); !ok {
+		t.Errorf("award RHS[0] should be modify, got %T", award.RHS[0])
+	}
+	if _, ok := award.RHS[2].(*RemoveAction); !ok {
+		t.Errorf("award RHS[2] should be remove, got %T", award.RHS[2])
+	}
+	w, ok := award.RHS[3].(*WriteAction)
+	if !ok || len(w.Args) != 5 {
+		t.Fatalf("award RHS[3] should be write with 5 args: %+v", award.RHS[3])
+	}
+	if c, ok := w.Args[4].(*CallExpr); !ok || c.Op != "crlf" || len(c.Args) != 0 {
+		t.Errorf("last write arg should be (crlf): %+v", w.Args[4])
+	}
+
+	meta := prog.MetaRules[0]
+	if meta.Name != "one-bid-per-pool" || len(meta.Patterns) != 2 || len(meta.Tests) != 1 {
+		t.Fatalf("metarule shape wrong: %+v", meta)
+	}
+	if meta.Patterns[0].Var != "i" || meta.Patterns[0].RuleName != "propose" {
+		t.Errorf("first inst pattern wrong: %+v", meta.Patterns[0])
+	}
+	if !reflect.DeepEqual(meta.Redacts, []string{"j"}) {
+		t.Errorf("redacts = %v", meta.Redacts)
+	}
+}
+
+func TestParseTerms(t *testing.T) {
+	prog := parseOK(t, `
+(literalize thing a b c d e)
+(rule r
+  (thing ^a 1 ^b <x> ^c (> 5) ^d (<> <x>) ^e nil)
+-->
+  (halt))
+`)
+	slots := prog.Rules[0].LHS[0].Pattern.Slots
+	if c, ok := slots[0].Term.(ConstTerm); !ok || c.Val != wm.Int(1) {
+		t.Errorf("slot a: %+v", slots[0].Term)
+	}
+	if v, ok := slots[1].Term.(VarTerm); !ok || v.Name != "x" {
+		t.Errorf("slot b: %+v", slots[1].Term)
+	}
+	if p, ok := slots[2].Term.(PredTerm); !ok || p.Op != ">" {
+		t.Errorf("slot c: %+v", slots[2].Term)
+	} else if c, ok := p.Arg.(ConstTerm); !ok || c.Val != wm.Int(5) {
+		t.Errorf("slot c arg: %+v", p.Arg)
+	}
+	if p, ok := slots[3].Term.(PredTerm); !ok || p.Op != "<>" {
+		t.Errorf("slot d: %+v", slots[3].Term)
+	} else if v, ok := p.Arg.(VarTerm); !ok || v.Name != "x" {
+		t.Errorf("slot d arg: %+v", p.Arg)
+	}
+	if c, ok := slots[4].Term.(ConstTerm); !ok || !c.Val.IsNil() {
+		t.Errorf("slot e should be nil const: %+v", slots[4].Term)
+	}
+}
+
+func TestParseOPS5Alias(t *testing.T) {
+	prog := parseOK(t, `(literalize a x) (p r1 (a ^x 1) --> (remove 1))`)
+	if len(prog.Rules) != 1 || prog.Rules[0].Name != "r1" {
+		t.Fatalf("p alias not accepted: %+v", prog.Rules)
+	}
+	rm := prog.Rules[0].RHS[0].(*RemoveAction)
+	if rm.Targets[0].Index != 1 {
+		t.Errorf("remove index = %d", rm.Targets[0].Index)
+	}
+}
+
+func TestParseBindAndNestedExpr(t *testing.T) {
+	prog := parseOK(t, `
+(literalize a x)
+(rule r (a ^x <v>) --> (bind <y> (+ (* <v> 2) 1)) (make a ^x <y>))
+`)
+	b := prog.Rules[0].RHS[0].(*BindAction)
+	if b.Var != "y" {
+		t.Errorf("bind var = %q", b.Var)
+	}
+	call := b.Expr.(*CallExpr)
+	if call.Op != "+" || len(call.Args) != 2 {
+		t.Fatalf("outer call: %+v", call)
+	}
+	inner := call.Args[0].(*CallExpr)
+	if inner.Op != "*" || len(inner.Args) != 2 {
+		t.Fatalf("inner call: %+v", inner)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`(bogus x)`, "unknown declaration"},
+		{`(literalize t)`, "at least one attribute"},
+		{`(rule r --> (halt))`, "empty left-hand side"},
+		{`(rule r (a ^x 1) --> (explode 1))`, "unknown action"},
+		{`(rule r (a ^x (plus 3)) --> (halt))`, "not a predicate operator"},
+		{`(rule r (a ^x (> (> 3))) --> (halt))`, "constant or variable"},
+		{`(rule r (a 1) --> (halt))`, "expected ^attribute"},
+		{`(rule r <e> (a ^x 1) --> (halt))`, "expected '<-'"},
+		{`(rule r - (test (> 1 0)) --> (halt))`, "cannot be negated"},
+		{`(rule r <e> <- (test (> 1 0)) --> (halt))`, "cannot be negated or bound"},
+		{`(rule r (a ^x 1) --> (modify 1))`, "no attribute changes"},
+		{`(rule r (a ^x 1) --> (remove))`, "no targets"},
+		{`(rule r (a ^x 1) --> (remove 0))`, "must be >= 1"},
+		{`(rule r (a ^x 1) --> (bind x 1))`, "bind expects a variable"},
+		{`(metarule m --> (redact <i>))`, "no instantiation patterns"},
+		{`(metarule m [<i> (r ^x 1)] --> )`, "redacts nothing"},
+		{`(metarule m [<i> (r ^x 1)] --> (redact))`, "at least one instantiation variable"},
+		{`(metarule m [<i> (r ^x 1)] --> (write "no"))`, "only meta action is redact"},
+		{`(metarule m [(r ^x 1)] --> (redact <i>))`, "must start with a meta-variable"},
+		{`(metarule m (foo) --> (redact <i>))`, "only"},
+		{`(wm (t ^a <x>))`, "expected a constant"},
+		{`(rule r`, "expected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail with %q", c.src, c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("(literalize t a)\n(rule r\n  (t 1)\n--> (halt))")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if perr.Pos.Line != 3 {
+		t.Errorf("error line = %d, want 3 (%v)", perr.Pos.Line, perr)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	src := sampleProgram + "\n(literalize veto pool)\n"
+	prog := parseOK(t, src)
+	printed := Print(prog)
+	reparsed, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\nprinted:\n%s", err, printed)
+	}
+	// Positions differ, so compare the second-generation print instead.
+	printed2 := Print(reparsed)
+	if printed != printed2 {
+		t.Errorf("print/parse not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+	}
+	if len(reparsed.Rules) != len(prog.Rules) || len(reparsed.MetaRules) != len(prog.MetaRules) ||
+		len(reparsed.Templates) != len(prog.Templates) || len(reparsed.Facts) != len(prog.Facts) {
+		t.Error("reparsed program has different shape")
+	}
+}
+
+func TestParseMultipleRedactsAndTargets(t *testing.T) {
+	prog := parseOK(t, `
+(literalize a x)
+(rule r (a ^x <v>) (a ^x (<> <v>)) --> (remove 1 2))
+(metarule m [<i> (r ^v <a>)] [<j> (r ^v <b>)] --> (redact <i> <j>))
+`)
+	rm := prog.Rules[0].RHS[0].(*RemoveAction)
+	if len(rm.Targets) != 2 || rm.Targets[1].Index != 2 {
+		t.Errorf("remove targets: %+v", rm.Targets)
+	}
+	if !reflect.DeepEqual(prog.MetaRules[0].Redacts, []string{"i", "j"}) {
+		t.Errorf("redacts: %v", prog.MetaRules[0].Redacts)
+	}
+}

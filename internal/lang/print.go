@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"parulel/internal/wm"
+)
+
+// Print renders a Program back to parseable PARULEL source. The output is
+// canonical (one declaration per top-level form, two-space indents), so
+// Parse∘Print is the identity on ASTs — a property the tests rely on.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, t := range p.Templates {
+		fmt.Fprintf(&b, "(literalize %s %s)\n", t.Name, strings.Join(t.Attrs, " "))
+	}
+	for _, f := range p.Facts {
+		b.WriteString("(wm\n")
+		for _, fact := range f.Facts {
+			b.WriteString("  (")
+			b.WriteString(fact.Type)
+			for _, s := range fact.Slots {
+				fmt.Fprintf(&b, " ^%s %s", s.Attr, printValue(s.Val))
+			}
+			b.WriteString(")\n")
+		}
+		b.WriteString(")\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(PrintRule(r))
+	}
+	for _, m := range p.MetaRules {
+		b.WriteString(printMetaRule(m))
+	}
+	return b.String()
+}
+
+// PrintRule renders a single rule declaration.
+func PrintRule(r *Rule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(rule %s\n", r.Name)
+	for _, ce := range r.LHS {
+		b.WriteString("  ")
+		b.WriteString(printCondElem(ce))
+		b.WriteString("\n")
+	}
+	b.WriteString("-->\n")
+	for _, a := range r.RHS {
+		b.WriteString("  ")
+		b.WriteString(printAction(a))
+		b.WriteString("\n")
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+func printCondElem(ce *CondElem) string {
+	if ce.Test != nil {
+		return fmt.Sprintf("(test %s)", PrintExpr(ce.Test))
+	}
+	pat := printPattern(ce.Pattern)
+	switch {
+	case ce.Negated:
+		return "- " + pat
+	case ce.Binder != "":
+		return fmt.Sprintf("<%s> <- %s", ce.Binder, pat)
+	default:
+		return pat
+	}
+}
+
+func printPattern(pat *Pattern) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(pat.Type)
+	for _, s := range pat.Slots {
+		fmt.Fprintf(&b, " ^%s %s", s.Attr, printTerm(s.Term))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func printTerm(t Term) string {
+	switch t := t.(type) {
+	case ConstTerm:
+		return printValue(t.Val)
+	case VarTerm:
+		return "<" + t.Name + ">"
+	case PredTerm:
+		return fmt.Sprintf("(%s %s)", t.Op, printTerm(t.Arg))
+	case DisjTerm:
+		parts := make([]string, len(t.Vals))
+		for i, v := range t.Vals {
+			parts[i] = printValue(v)
+		}
+		return "<< " + strings.Join(parts, " ") + " >>"
+	default:
+		return fmt.Sprintf("?term(%T)?", t)
+	}
+}
+
+func printValue(v wm.Value) string {
+	// wm.Value.String already prints literals in source syntax.
+	return v.String()
+}
+
+func printAction(a Action) string {
+	switch a := a.(type) {
+	case *MakeAction:
+		var b strings.Builder
+		fmt.Fprintf(&b, "(make %s", a.Type)
+		for _, s := range a.Slots {
+			fmt.Fprintf(&b, " ^%s %s", s.Attr, PrintExpr(s.Expr))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *ModifyAction:
+		var b strings.Builder
+		fmt.Fprintf(&b, "(modify %s", printDesignator(a.Target))
+		for _, s := range a.Slots {
+			fmt.Fprintf(&b, " ^%s %s", s.Attr, PrintExpr(s.Expr))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *RemoveAction:
+		parts := make([]string, len(a.Targets))
+		for i, d := range a.Targets {
+			parts[i] = printDesignator(d)
+		}
+		return "(remove " + strings.Join(parts, " ") + ")"
+	case *BindAction:
+		if a.Expr == nil { // gensym form
+			return fmt.Sprintf("(bind <%s>)", a.Var)
+		}
+		return fmt.Sprintf("(bind <%s> %s)", a.Var, PrintExpr(a.Expr))
+	case *WriteAction:
+		parts := make([]string, len(a.Args))
+		for i, e := range a.Args {
+			parts[i] = PrintExpr(e)
+		}
+		if len(parts) == 0 {
+			return "(write)"
+		}
+		return "(write " + strings.Join(parts, " ") + ")"
+	case *HaltAction:
+		return "(halt)"
+	default:
+		return fmt.Sprintf("?action(%T)?", a)
+	}
+}
+
+func printDesignator(d Designator) string {
+	if d.Var != "" {
+		return "<" + d.Var + ">"
+	}
+	return fmt.Sprintf("%d", d.Index)
+}
+
+// PrintExpr renders an expression in source syntax.
+func PrintExpr(e Expr) string {
+	switch e := e.(type) {
+	case *ConstExpr:
+		return printValue(e.Val)
+	case *VarExpr:
+		return "<" + e.Name + ">"
+	case *CallExpr:
+		if len(e.Args) == 0 {
+			return "(" + e.Op + ")"
+		}
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = PrintExpr(a)
+		}
+		return "(" + e.Op + " " + strings.Join(parts, " ") + ")"
+	default:
+		return fmt.Sprintf("?expr(%T)?", e)
+	}
+}
+
+func printMetaRule(m *MetaRule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(metarule %s\n", m.Name)
+	for _, ip := range m.Patterns {
+		fmt.Fprintf(&b, "  [<%s> (%s", ip.Var, ip.RuleName)
+		for _, s := range ip.Slots {
+			fmt.Fprintf(&b, " ^%s %s", s.Attr, printTerm(s.Term))
+		}
+		b.WriteString(")]\n")
+	}
+	for _, t := range m.Tests {
+		fmt.Fprintf(&b, "  (test %s)\n", PrintExpr(t))
+	}
+	b.WriteString("-->\n")
+	for _, r := range m.Redacts {
+		fmt.Fprintf(&b, "  (redact <%s>)\n", r)
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parulel/internal/wm"
+)
+
+// Random AST generation for the print∘parse fixpoint property. The
+// generated programs need only be *grammatical* (parse-valid), not
+// compile-valid, so variables and templates are unconstrained.
+
+func randSym(r *rand.Rand) string {
+	heads := "abcdefgh"
+	tails := "abcdefgh0123456789-*"
+	n := 1 + r.Intn(6)
+	out := []byte{heads[r.Intn(len(heads))]}
+	for i := 1; i < n; i++ {
+		out = append(out, tails[r.Intn(len(tails))])
+	}
+	return string(out)
+}
+
+func randValue(r *rand.Rand) wm.Value {
+	switch r.Intn(6) {
+	case 0:
+		return wm.Nil()
+	case 1:
+		return wm.Int(int64(r.Intn(2000) - 1000))
+	case 2:
+		// Random but exactly representable floats round-trip through %g.
+		return wm.Float(float64(r.Intn(1000)-500) / 8)
+	case 3:
+		return wm.Sym(randSym(r))
+	case 4:
+		return wm.Str("plain text")
+	default:
+		return wm.Str("esc \" \\ \n\ttext")
+	}
+}
+
+func randTerm(r *rand.Rand, depth int) Term {
+	switch r.Intn(5) {
+	case 0:
+		return VarTerm{Name: randSym(r)}
+	case 1:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		var arg Term
+		if r.Intn(2) == 0 {
+			arg = VarTerm{Name: randSym(r)}
+		} else {
+			arg = ConstTerm{Val: randValue(r)}
+		}
+		return PredTerm{Op: ops[r.Intn(len(ops))], Arg: arg}
+	case 2:
+		d := DisjTerm{}
+		for i := 0; i <= r.Intn(3); i++ {
+			d.Vals = append(d.Vals, randValue(r))
+		}
+		return d
+	default:
+		return ConstTerm{Val: randValue(r)}
+	}
+}
+
+func randPattern(r *rand.Rand) *Pattern {
+	p := &Pattern{Type: randSym(r)}
+	for i := 0; i < r.Intn(4); i++ {
+		p.Slots = append(p.Slots, &Slot{Attr: randSym(r), Term: randTerm(r, 0)})
+	}
+	return p
+}
+
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth > 2 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return &VarExpr{Name: randSym(r)}
+		}
+		return &ConstExpr{Val: randValue(r)}
+	}
+	ops := []string{"+", "-", "*", "div", "mod", "=", "<>", "<", "and", "or", "not", "min", "max", "abs", "hash", "crlf", "if", "symcat"}
+	c := &CallExpr{Op: ops[r.Intn(len(ops))]}
+	for i := 0; i < r.Intn(3); i++ {
+		c.Args = append(c.Args, randExpr(r, depth+1))
+	}
+	return c
+}
+
+func randDesignator(r *rand.Rand) Designator {
+	if r.Intn(2) == 0 {
+		return Designator{Index: 1 + r.Intn(5)}
+	}
+	return Designator{Var: randSym(r)}
+}
+
+func randAction(r *rand.Rand) Action {
+	switch r.Intn(6) {
+	case 0:
+		a := &MakeAction{Type: randSym(r)}
+		for i := 0; i < r.Intn(3); i++ {
+			a.Slots = append(a.Slots, &ActionSlot{Attr: randSym(r), Expr: randExpr(r, 0)})
+		}
+		return a
+	case 1:
+		a := &ModifyAction{Target: randDesignator(r)}
+		for i := 0; i <= r.Intn(3); i++ {
+			a.Slots = append(a.Slots, &ActionSlot{Attr: randSym(r), Expr: randExpr(r, 0)})
+		}
+		return a
+	case 2:
+		a := &RemoveAction{}
+		for i := 0; i <= r.Intn(3); i++ {
+			a.Targets = append(a.Targets, randDesignator(r))
+		}
+		return a
+	case 3:
+		if r.Intn(2) == 0 {
+			return &BindAction{Var: randSym(r)} // gensym form
+		}
+		return &BindAction{Var: randSym(r), Expr: randExpr(r, 0)}
+	case 4:
+		a := &WriteAction{}
+		for i := 0; i < r.Intn(4); i++ {
+			a.Args = append(a.Args, randExpr(r, 0))
+		}
+		return a
+	default:
+		return &HaltAction{}
+	}
+}
+
+func randCondElem(r *rand.Rand) *CondElem {
+	switch r.Intn(5) {
+	case 0:
+		return &CondElem{Negated: true, Pattern: randPattern(r)}
+	case 1:
+		return &CondElem{Binder: randSym(r), Pattern: randPattern(r)}
+	case 2:
+		return &CondElem{Test: randExpr(r, 0)}
+	default:
+		return &CondElem{Pattern: randPattern(r)}
+	}
+}
+
+func randRule(r *rand.Rand, i int) *Rule {
+	rule := &Rule{Name: fmt.Sprintf("rule-%d-%s", i, randSym(r))}
+	for j := 0; j <= r.Intn(4); j++ {
+		rule.LHS = append(rule.LHS, randCondElem(r))
+	}
+	for j := 0; j < r.Intn(4); j++ {
+		rule.RHS = append(rule.RHS, randAction(r))
+	}
+	return rule
+}
+
+func randMetaRule(r *rand.Rand, i int) *MetaRule {
+	m := &MetaRule{Name: fmt.Sprintf("meta-%d-%s", i, randSym(r))}
+	for j := 0; j <= r.Intn(3); j++ {
+		ip := &InstPattern{Var: randSym(r), RuleName: randSym(r)}
+		for k := 0; k < r.Intn(3); k++ {
+			ip.Slots = append(ip.Slots, &Slot{Attr: randSym(r), Term: randTerm(r, 0)})
+		}
+		m.Patterns = append(m.Patterns, ip)
+	}
+	for j := 0; j < r.Intn(2); j++ {
+		m.Tests = append(m.Tests, randExpr(r, 0))
+	}
+	for j := 0; j <= r.Intn(2); j++ {
+		m.Redacts = append(m.Redacts, randSym(r))
+	}
+	return m
+}
+
+func randAST(r *rand.Rand) *Program {
+	p := &Program{}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		td := &TemplateDecl{Name: fmt.Sprintf("tmpl-%d", i)}
+		for j := 0; j <= r.Intn(4); j++ {
+			td.Attrs = append(td.Attrs, randSym(r))
+		}
+		p.Templates = append(p.Templates, td)
+	}
+	if r.Intn(2) == 0 {
+		fd := &FactDecl{}
+		for i := 0; i <= r.Intn(3); i++ {
+			f := &Fact{Type: randSym(r)}
+			for j := 0; j < r.Intn(3); j++ {
+				f.Slots = append(f.Slots, FactSlot{Attr: randSym(r), Val: randValue(r)})
+			}
+			fd.Facts = append(fd.Facts, f)
+		}
+		p.Facts = append(p.Facts, fd)
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		p.Rules = append(p.Rules, randRule(r, i))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		p.MetaRules = append(p.MetaRules, randMetaRule(r, i))
+	}
+	return p
+}
+
+// TestPrintParseFixpointProperty: for random grammatical ASTs, printing
+// then reparsing then printing again reproduces the first print exactly.
+func TestPrintParseFixpointProperty(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ast := randAST(r)
+		printed := Print(ast)
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: printed program does not parse: %v\n%s", seed, err, printed)
+		}
+		printed2 := Print(reparsed)
+		if printed != printed2 {
+			t.Fatalf("seed %d: print∘parse not a fixpoint:\nfirst:\n%s\nsecond:\n%s", seed, printed, printed2)
+		}
+	}
+}
+
+// TestLexerRoundTripsValues: every literal survives print→lex.
+func TestLexerRoundTripsValues(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		v := randValue(r)
+		toks, err := LexAll(v.String())
+		if err != nil {
+			t.Fatalf("lex %q: %v", v.String(), err)
+		}
+		if len(toks) != 2 { // value + EOF
+			t.Fatalf("value %q lexed to %d tokens", v.String(), len(toks)-1)
+		}
+		got := toks[0]
+		switch v.Kind {
+		case wm.KindInt:
+			if got.Kind != TokInt || got.Int != v.I {
+				t.Errorf("int %v → %v", v, got)
+			}
+		case wm.KindFloat:
+			if got.Kind != TokFloat || got.Flt != v.F {
+				t.Errorf("float %v → %v", v, got)
+			}
+		case wm.KindSym:
+			if got.Kind != TokSym || got.Text != v.S {
+				t.Errorf("sym %v → %v", v, got)
+			}
+		case wm.KindStr:
+			if got.Kind != TokString || got.Text != v.S {
+				t.Errorf("str %q → %v", v.S, got)
+			}
+		case wm.KindNil:
+			if got.Kind != TokSym || got.Text != "nil" {
+				t.Errorf("nil → %v", got)
+			}
+		}
+	}
+}

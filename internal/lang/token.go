@@ -1,0 +1,108 @@
+// Package lang implements the PARULEL language front end: lexer, abstract
+// syntax tree, recursive-descent parser, and a source printer.
+//
+// The concrete syntax is OPS5-flavoured s-expressions extended with the two
+// PARULEL constructs: `metarule` declarations and `[<i> (rule …)]`
+// instantiation patterns. See DESIGN.md §2 for a sketch and the grammar
+// comments on Parser for details.
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokLParen
+	TokRParen
+	TokLBrack
+	TokRBrack
+	TokArrow  // -->
+	TokAttr   // ^name
+	TokVar    // <name>
+	TokSym    // bare symbol, including operators like <=, <>, <-, +, -
+	TokInt    // integer literal
+	TokFloat  // float literal
+	TokString // double-quoted string literal
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrack:
+		return "'['"
+	case TokRBrack:
+		return "']'"
+	case TokArrow:
+		return "'-->'"
+	case TokAttr:
+		return "attribute"
+	case TokVar:
+		return "variable"
+	case TokSym:
+		return "symbol"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // symbol name, attr name (without ^), var name (without <>), string body
+	Int  int64
+	Flt  float64
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokSym:
+		return t.Text
+	case TokAttr:
+		return "^" + t.Text
+	case TokVar:
+		return "<" + t.Text + ">"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("%g", t.Flt)
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical or syntactic error with position information.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,46 @@
+package match
+
+// ChangeCollector accumulates conflict-set additions and removals during
+// one delta application and nets out instantiations that were both added
+// and removed (e.g. created by one WME of the delta and retracted by a
+// later one).
+type ChangeCollector struct {
+	net   map[string]int
+	byKey map[string]*Instantiation
+}
+
+// NewChangeCollector returns an empty collector.
+func NewChangeCollector() *ChangeCollector {
+	return &ChangeCollector{net: make(map[string]int), byKey: make(map[string]*Instantiation)}
+}
+
+// Add records an instantiation addition.
+func (c *ChangeCollector) Add(in *Instantiation) {
+	c.net[in.Key()]++
+	c.byKey[in.Key()] = in
+}
+
+// Remove records an instantiation removal.
+func (c *ChangeCollector) Remove(in *Instantiation) {
+	c.net[in.Key()]--
+	c.byKey[in.Key()] = in
+}
+
+// Take returns the netted, deterministically sorted changes and resets the
+// collector.
+func (c *ChangeCollector) Take() Changes {
+	var ch Changes
+	for k, v := range c.net {
+		switch {
+		case v > 0:
+			ch.Added = append(ch.Added, c.byKey[k])
+		case v < 0:
+			ch.Removed = append(ch.Removed, c.byKey[k])
+		}
+	}
+	SortInstantiations(ch.Added)
+	SortInstantiations(ch.Removed)
+	c.net = make(map[string]int)
+	c.byKey = make(map[string]*Instantiation)
+	return ch
+}

@@ -1,0 +1,41 @@
+package match
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Explain writes a human-readable listing of a conflict set: each
+// instantiation's rule, refraction status, matched elements and variable
+// bindings. fired may be nil.
+func Explain(w io.Writer, ins []*Instantiation, fired map[string]bool) error {
+	if _, err := fmt.Fprintf(w, "conflict set: %d instantiation(s)\n", len(ins)); err != nil {
+		return err
+	}
+	for _, in := range ins {
+		status := "eligible"
+		if fired[in.Key()] {
+			status = "fired (refracted)"
+		}
+		if _, err := fmt.Fprintf(w, "%s  [%s]\n", in, status); err != nil {
+			return err
+		}
+		for i, wme := range in.WMEs {
+			if _, err := fmt.Fprintf(w, "  %d: %s\n", i+1, wme); err != nil {
+				return err
+			}
+		}
+		names := make([]string, 0, len(in.Rule.Bindings))
+		for name := range in.Rule.Bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "  <%s> = %s\n", name, in.Binding(in.Rule.Bindings[name])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package match defines the interface between the execution engines and
+// the incremental match algorithms (RETE in match/rete, TREAT in
+// match/treat), and the Instantiation type both produce.
+//
+// A Matcher owns a *partition* of the program's rules. The PARULEL engine
+// runs one matcher per worker (production-level match parallelism, as on
+// the DADO-style machines the paper targeted); the OPS5 baseline runs a
+// single matcher over all rules.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parulel/internal/compile"
+	"parulel/internal/wm"
+)
+
+// Instantiation is a complete match of one rule: one WME per positive
+// condition element. Instantiations are immutable.
+type Instantiation struct {
+	Rule *compile.Rule
+	// WMEs holds the matched elements indexed by positive CE.
+	WMEs []*wm.WME
+	key  string
+}
+
+// NewInstantiation builds an instantiation and its dedup key.
+func NewInstantiation(rule *compile.Rule, wmes []*wm.WME) *Instantiation {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", rule.Index)
+	for _, w := range wmes {
+		fmt.Fprintf(&b, ":%d", w.Time)
+	}
+	return &Instantiation{Rule: rule, WMEs: wmes, key: b.String()}
+}
+
+// Key is a unique, deterministic identifier: the rule index and the time
+// tags of the matched WMEs. Equal instantiations produced by different
+// matcher implementations have equal keys.
+func (in *Instantiation) Key() string { return in.key }
+
+// Tag returns the instantiation's recency tag: the maximum time tag among
+// its WMEs. Exposed to meta-rules as `(tag <i>)`.
+func (in *Instantiation) Tag() int64 {
+	var max int64
+	for _, w := range in.WMEs {
+		if w.Time > max {
+			max = w.Time
+		}
+	}
+	return max
+}
+
+// Compare imposes the deterministic total instantiation order used by
+// `(precedes <i> <j>)` and by the engines for reproducible iteration:
+// first by rule declaration index, then by the WME time-tag vector
+// lexicographically.
+func (in *Instantiation) Compare(o *Instantiation) int {
+	switch {
+	case in.Rule.Index < o.Rule.Index:
+		return -1
+	case in.Rule.Index > o.Rule.Index:
+		return 1
+	}
+	n := len(in.WMEs)
+	if len(o.WMEs) < n {
+		n = len(o.WMEs)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case in.WMEs[i].Time < o.WMEs[i].Time:
+			return -1
+		case in.WMEs[i].Time > o.WMEs[i].Time:
+			return 1
+		}
+	}
+	switch {
+	case len(in.WMEs) < len(o.WMEs):
+		return -1
+	case len(in.WMEs) > len(o.WMEs):
+		return 1
+	}
+	return 0
+}
+
+// Binding returns the value of a compiled variable reference.
+func (in *Instantiation) Binding(ref compile.VarRef) wm.Value {
+	return in.WMEs[ref.CE].Fields[ref.Field]
+}
+
+// String renders the instantiation for traces: rule name plus time tags.
+func (in *Instantiation) String() string {
+	var b strings.Builder
+	b.WriteString(in.Rule.Name)
+	b.WriteString(" [")
+	for i, w := range in.WMEs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d", w.Time)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Changes reports the conflict-set delta produced by one working-memory
+// delta.
+type Changes struct {
+	Added   []*Instantiation
+	Removed []*Instantiation
+}
+
+// MemStats reports a matcher's state-size counters, used by experiment E4
+// (RETE vs TREAT memory).
+type MemStats struct {
+	// AlphaItems counts WMEs held across alpha memories (with sharing, a
+	// WME in two alpha memories counts twice).
+	AlphaItems int
+	// BetaTokens counts partial-match tokens (RETE only; TREAT holds no
+	// beta state).
+	BetaTokens int
+	// ConflictSet counts complete instantiations currently held.
+	ConflictSet int
+}
+
+// Matcher is an incremental match algorithm over a fixed partition of
+// rules. Implementations are not safe for concurrent use; the engines give
+// each matcher to exactly one worker.
+type Matcher interface {
+	// Apply feeds a working-memory delta (removals first, then additions)
+	// and returns the resulting conflict-set changes.
+	Apply(delta wm.Delta) Changes
+	// ConflictSet returns the current complete matches in the deterministic
+	// instantiation order.
+	ConflictSet() []*Instantiation
+	// MemStats reports current state sizes.
+	MemStats() MemStats
+}
+
+// Factory constructs a matcher over a rule partition. rete.New and
+// treat.New satisfy this signature.
+type Factory func(rules []*compile.Rule) Matcher
+
+// EvalEnv adapts a WME vector to the expression evaluation environment for
+// LHS filter tests (no locals, no meta context). The zero value is not
+// usable; construct with the vector to evaluate against.
+type EvalEnv struct {
+	Vec []*wm.WME
+}
+
+// Ref returns the referenced field value.
+func (e EvalEnv) Ref(r compile.VarRef) wm.Value { return e.Vec[r.CE].Fields[r.Field] }
+
+// Local panics: LHS tests cannot reference RHS locals.
+func (e EvalEnv) Local(int) wm.Value { panic("match: LHS test referenced an RHS local") }
+
+// MetaVal panics: LHS tests have no meta context.
+func (e EvalEnv) MetaVal(int, compile.VarRef) wm.Value { panic("match: not a meta context") }
+
+// MetaTag panics: LHS tests have no meta context.
+func (e EvalEnv) MetaTag(int) int64 { panic("match: not a meta context") }
+
+// MetaRuleName panics: LHS tests have no meta context.
+func (e EvalEnv) MetaRuleName(int) string { panic("match: not a meta context") }
+
+// MetaPrecedes panics: LHS tests have no meta context.
+func (e EvalEnv) MetaPrecedes(int, int) bool { panic("match: not a meta context") }
+
+// EvalFilters evaluates a CE's filter expressions against a WME vector. A
+// filter that errors at runtime (e.g. comparing incompatible values fed by
+// a weakly constrained pattern) counts as a failed test, matching OPS5
+// practice of treating predicate failure as no-match.
+func EvalFilters(ce *compile.CondElem, vec []*wm.WME) bool {
+	if len(ce.Filters) == 0 {
+		return true
+	}
+	env := EvalEnv{Vec: vec}
+	for _, f := range ce.Filters {
+		v, err := compile.Eval(f, env)
+		if err != nil || !v.Truthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// SortInstantiations sorts a slice in the deterministic total order.
+func SortInstantiations(ins []*Instantiation) {
+	sort.Slice(ins, func(i, j int) bool { return ins[i].Compare(ins[j]) < 0 })
+}

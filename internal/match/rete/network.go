@@ -1,0 +1,253 @@
+package rete
+
+import (
+	"fmt"
+	"strings"
+
+	"parulel/internal/compile"
+	"parulel/internal/match"
+	"parulel/internal/wm"
+)
+
+// Network is a RETE network over a partition of rules. It implements
+// match.Matcher. A Network must be used by a single goroutine.
+type Network struct {
+	rules []*compile.Rule
+
+	alphaByTmpl map[*wm.Template][]*alphaMem
+	alphaBySig  map[string]*alphaMem
+
+	// Per-WME bookkeeping (WMEs are shared across partitions, so RETE
+	// state cannot live on the WME itself).
+	wmeAlpha      map[*wm.WME][]*alphaMem
+	wmeTokens     map[*wm.WME][]*token
+	wmeNegResults map[*wm.WME][]*negJoinResult
+
+	conflictSet map[string]*match.Instantiation
+	coll        *match.ChangeCollector
+
+	betaMems []*betaMem
+	negNodes []*negativeNode
+	prods    []*productionNode
+}
+
+var _ match.Matcher = (*Network)(nil)
+
+// New builds a RETE network for the given rules. It satisfies
+// match.Factory.
+func New(rules []*compile.Rule) match.Matcher {
+	n := &Network{
+		rules:         rules,
+		alphaByTmpl:   make(map[*wm.Template][]*alphaMem),
+		alphaBySig:    make(map[string]*alphaMem),
+		wmeAlpha:      make(map[*wm.WME][]*alphaMem),
+		wmeTokens:     make(map[*wm.WME][]*token),
+		wmeNegResults: make(map[*wm.WME][]*negJoinResult),
+		conflictSet:   make(map[string]*match.Instantiation),
+		coll:          match.NewChangeCollector(),
+	}
+	for _, r := range rules {
+		n.addRule(r)
+	}
+	return n
+}
+
+// alphaSignature identifies structurally identical alpha tests so that
+// alpha memories are shared between CEs.
+func alphaSignature(ce *compile.CondElem) string {
+	var b strings.Builder
+	b.WriteString(ce.Tmpl.Name)
+	for _, t := range ce.ConstTests {
+		fmt.Fprintf(&b, "|c%d %s %s %d", t.Field, t.Op, t.Val, t.Val.Kind)
+	}
+	for _, t := range ce.DisjTests {
+		fmt.Fprintf(&b, "|d%d", t.Field)
+		for _, v := range t.Vals {
+			fmt.Fprintf(&b, " %s %d", v, v.Kind)
+		}
+	}
+	for _, t := range ce.IntraTests {
+		fmt.Fprintf(&b, "|i%d %s %d", t.Field, t.Op, t.OtherField)
+	}
+	return b.String()
+}
+
+func (n *Network) alpha(ce *compile.CondElem) *alphaMem {
+	sig := alphaSignature(ce)
+	if am, ok := n.alphaBySig[sig]; ok {
+		return am
+	}
+	am := &alphaMem{rep: ce, wmes: make(map[*wm.WME]struct{})}
+	n.alphaBySig[sig] = am
+	n.alphaByTmpl[ce.Tmpl] = append(n.alphaByTmpl[ce.Tmpl], am)
+	return am
+}
+
+// attach registers a right node with an alpha memory. Nodes are prepended
+// so that, within a rule chain, deeper nodes are right-activated first —
+// the standard RETE ordering that prevents duplicate propagation when one
+// WME feeds two join levels through a shared alpha memory.
+func (am *alphaMem) attach(rn rightNode) {
+	am.succs = append([]rightNode{rn}, am.succs...)
+}
+
+// addRule builds the beta chain for one rule: a private top beta memory
+// with a dummy token, then one join or negative node per condition
+// element, ending in a production node.
+func (n *Network) addRule(r *compile.Rule) {
+	top := &betaMem{net: n, tokens: make(map[*token]struct{})}
+	n.betaMems = append(n.betaMems, top)
+	dummy := &token{vec: nil, owner: top}
+	top.tokens[dummy] = struct{}{}
+
+	cur := top
+	for i, ce := range r.CEs {
+		last := i == len(r.CEs)-1
+		var child node
+		var collector *betaMem
+		if last {
+			prod := &productionNode{net: n, rule: r, insts: make(map[*token]*match.Instantiation)}
+			n.prods = append(n.prods, prod)
+			child = prod
+		} else {
+			collector = &betaMem{net: n, tokens: make(map[*token]struct{})}
+			n.betaMems = append(n.betaMems, collector)
+			child = collector
+		}
+		am := n.alpha(ce)
+		if ce.Negated {
+			neg := &negativeNode{
+				net:    n,
+				amem:   am,
+				ce:     ce,
+				tokens: make(map[*token]struct{}),
+				child:  child,
+			}
+			n.negNodes = append(n.negNodes, neg)
+			cur.succs = append(cur.succs, neg)
+			am.attach(neg)
+			// Flow the existing tokens (initially just the dummy) through
+			// the new node.
+			for t := range cur.tokens {
+				neg.leftActivate(t)
+			}
+		} else {
+			j := &joinNode{net: n, parent: cur, amem: am, ce: ce, child: child}
+			cur.succs = append(cur.succs, j)
+			am.attach(j)
+			for t := range cur.tokens {
+				j.leftActivate(t)
+			}
+		}
+		cur = collector
+	}
+}
+
+// Apply feeds a working-memory delta and returns conflict-set changes,
+// netting out instantiations that were both added and removed within the
+// one delta (e.g. created by one WME and retracted by a later WME's
+// negative match).
+func (n *Network) Apply(delta wm.Delta) match.Changes {
+	for _, w := range delta.Removed {
+		n.removeWME(w)
+	}
+	for _, w := range delta.Added {
+		n.addWME(w)
+	}
+	return n.coll.Take()
+}
+
+func (n *Network) addWME(w *wm.WME) {
+	for _, am := range n.alphaByTmpl[w.Tmpl] {
+		if !am.rep.MatchesAlpha(w) {
+			continue
+		}
+		am.wmes[w] = struct{}{}
+		n.wmeAlpha[w] = append(n.wmeAlpha[w], am)
+		for _, s := range am.succs {
+			s.rightAdd(w)
+		}
+	}
+}
+
+func (n *Network) removeWME(w *wm.WME) {
+	// 1. Remove from alpha memories so in-flight joins no longer see it.
+	for _, am := range n.wmeAlpha[w] {
+		delete(am.wmes, w)
+	}
+	delete(n.wmeAlpha, w)
+
+	// 2. Delete every token built on this WME, cascading to descendants.
+	for _, t := range n.wmeTokens[w] {
+		n.deleteTokenAndDescendants(t)
+	}
+	delete(n.wmeTokens, w)
+
+	// 3. Negative join results: the blocked tokens may become unblocked.
+	for _, jr := range n.wmeNegResults[w] {
+		if jr.owner.dead {
+			continue
+		}
+		jr.owner.nresults--
+		if jr.owner.nresults == 0 {
+			jr.node.propagate(jr.owner)
+		}
+	}
+	delete(n.wmeNegResults, w)
+}
+
+// deleteTokenAndDescendants removes a token and its whole subtree,
+// unhooking it from its owner's memory and its parent's child list.
+func (n *Network) deleteTokenAndDescendants(t *token) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	for len(t.children) > 0 {
+		n.deleteTokenAndDescendants(t.children[len(t.children)-1])
+	}
+	if t.owner != nil {
+		t.owner.removeToken(t)
+		t.owner = nil
+	}
+	if t.parent != nil {
+		t.parent.dropChild(t)
+		t.parent = nil
+	}
+}
+
+// deleteDescendants removes a token's subtree but keeps the token itself
+// (used by negative nodes when an absence stops holding).
+func (n *Network) deleteDescendants(t *token) {
+	for len(t.children) > 0 {
+		n.deleteTokenAndDescendants(t.children[len(t.children)-1])
+	}
+}
+
+// ConflictSet returns the current instantiations in deterministic order.
+func (n *Network) ConflictSet() []*match.Instantiation {
+	out := make([]*match.Instantiation, 0, len(n.conflictSet))
+	for _, in := range n.conflictSet {
+		out = append(out, in)
+	}
+	match.SortInstantiations(out)
+	return out
+}
+
+// MemStats reports current state sizes.
+func (n *Network) MemStats() match.MemStats {
+	var ms match.MemStats
+	for _, am := range n.alphaByTmpl {
+		for _, a := range am {
+			ms.AlphaItems += len(a.wmes)
+		}
+	}
+	for _, b := range n.betaMems {
+		ms.BetaTokens += len(b.tokens)
+	}
+	for _, neg := range n.negNodes {
+		ms.BetaTokens += len(neg.tokens)
+	}
+	ms.ConflictSet = len(n.conflictSet)
+	return ms
+}

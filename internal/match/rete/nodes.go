@@ -1,0 +1,256 @@
+// Package rete implements an incremental RETE match network in the style
+// of Doorenbos ("Production Matching for Large Learning Systems", CMU,
+// 1995): a constant-test alpha layer feeding alpha memories, and a beta
+// layer of join nodes, beta memories and negative nodes per rule, ending in
+// production nodes that maintain the conflict set.
+//
+// Each Network instance owns a partition of rules and is used by exactly
+// one goroutine; the PARULEL engine achieves match parallelism by running
+// one Network per worker over disjoint rule partitions (production-level
+// parallelism).
+package rete
+
+import (
+	"parulel/internal/compile"
+	"parulel/internal/match"
+	"parulel/internal/wm"
+)
+
+// token is a partial match: a chain of WMEs, one per positive CE joined so
+// far. Tokens propagated by negative nodes carry a nil wme (they assert
+// the *absence* of a match and add no element to the vector).
+type token struct {
+	parent   *token
+	wme      *wm.WME // nil for the dummy top token and for negative-node children
+	owner    node    // the node whose memory holds this token
+	children []*token
+	// vec is the positive-CE WME vector accumulated so far (shared prefix
+	// copies; small and short-lived).
+	vec []*wm.WME
+	// nresults, for tokens held in a negative node's memory, counts WMEs
+	// currently matching the negated pattern; the token's children exist
+	// iff nresults == 0.
+	nresults int
+	// dead marks tokens already deleted, so stale entries in the per-WME
+	// indexes are skipped when consumed.
+	dead bool
+}
+
+func (t *token) addChild(c *token) { t.children = append(t.children, c) }
+func (t *token) dropChild(c *token) {
+	for i, x := range t.children {
+		if x == c {
+			last := len(t.children) - 1
+			t.children[i] = t.children[last]
+			t.children = t.children[:last]
+			return
+		}
+	}
+}
+
+// node is a beta-layer node that can receive tokens from above and WME
+// (right) activations from an alpha memory.
+type node interface {
+	// leftActivate receives a new token from the parent node.
+	leftActivate(t *token)
+	// removeToken removes a token from this node's memory (cascade
+	// deletion has already handled its children).
+	removeToken(t *token)
+}
+
+// rightNode additionally receives alpha-memory activations.
+type rightNode interface {
+	node
+	rightAdd(w *wm.WME)
+	rightRemove(w *wm.WME)
+}
+
+// alphaMem is an alpha memory: the set of WMEs passing one CE's constant
+// and intra-element tests. Alpha memories are shared between structurally
+// identical CEs of the partition's rules.
+type alphaMem struct {
+	// rep is a representative CE carrying the alpha tests.
+	rep   *compile.CondElem
+	wmes  map[*wm.WME]struct{}
+	succs []rightNode
+}
+
+// betaMem stores tokens and forwards them to its child nodes.
+type betaMem struct {
+	net    *Network
+	tokens map[*token]struct{}
+	succs  []node
+}
+
+func (b *betaMem) leftActivate(t *token) {
+	t.owner = b
+	b.tokens[t] = struct{}{}
+	for _, s := range b.succs {
+		s.leftActivate(t)
+	}
+}
+
+func (b *betaMem) removeToken(t *token) { delete(b.tokens, t) }
+
+// joinNode joins tokens from its parent beta memory with WMEs from its
+// alpha memory, applying the CE's variable-consistency tests and any
+// attached filter expressions.
+type joinNode struct {
+	net    *Network
+	parent *betaMem
+	amem   *alphaMem
+	ce     *compile.CondElem
+	child  node // betaMem, negativeNode or productionNode
+}
+
+func (j *joinNode) passes(t *token, w *wm.WME) bool {
+	for _, jt := range j.ce.JoinTests {
+		if !jt.Op.Apply(w.Fields[jt.Field], t.vec[jt.OtherCE].Fields[jt.OtherField]) {
+			return false
+		}
+	}
+	if len(j.ce.Filters) > 0 {
+		// Filters need the vector including this WME.
+		vec := append(append(make([]*wm.WME, 0, len(t.vec)+1), t.vec...), w)
+		return match.EvalFilters(j.ce, vec)
+	}
+	return true
+}
+
+func (j *joinNode) propagate(t *token, w *wm.WME) {
+	vec := append(append(make([]*wm.WME, 0, len(t.vec)+1), t.vec...), w)
+	nt := &token{parent: t, wme: w, vec: vec}
+	t.addChild(nt)
+	j.net.wmeTokens[w] = append(j.net.wmeTokens[w], nt)
+	j.child.leftActivate(nt)
+}
+
+func (j *joinNode) leftActivate(t *token) {
+	for w := range j.amem.wmes {
+		if j.passes(t, w) {
+			j.propagate(t, w)
+		}
+	}
+}
+
+func (j *joinNode) removeToken(*token) {
+	// Join nodes hold no memory; nothing to do. (Tokens are held by beta
+	// memories, negative nodes and production nodes.)
+}
+
+func (j *joinNode) rightAdd(w *wm.WME) {
+	for t := range j.parent.tokens {
+		if j.passes(t, w) {
+			j.propagate(t, w)
+		}
+	}
+}
+
+func (j *joinNode) rightRemove(*wm.WME) {
+	// Token deletion is driven by the network's wmeTokens index; join
+	// nodes need no right-removal work of their own.
+}
+
+// negativeNode implements negated condition elements. It stores the tokens
+// flowing through it; a token's children exist exactly while no WME in the
+// alpha memory matches it. Join results are tracked per (token, wme) pair
+// via the network's wmeNegResults index.
+type negativeNode struct {
+	net    *Network
+	amem   *alphaMem
+	ce     *compile.CondElem
+	tokens map[*token]struct{}
+	child  node
+}
+
+type negJoinResult struct {
+	owner *token
+	wme   *wm.WME
+	node  *negativeNode
+}
+
+func (n *negativeNode) passes(t *token, w *wm.WME) bool {
+	for _, jt := range n.ce.JoinTests {
+		if !jt.Op.Apply(w.Fields[jt.Field], t.vec[jt.OtherCE].Fields[jt.OtherField]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *negativeNode) propagate(t *token) {
+	nt := &token{parent: t, wme: nil, vec: t.vec}
+	t.addChild(nt)
+	n.child.leftActivate(nt)
+}
+
+func (n *negativeNode) leftActivate(t *token) {
+	// Create this node's own token rather than adopting the incoming one:
+	// the incoming token may already be owned by a beta memory, and a
+	// token must live in exactly one node's memory for deletion to be
+	// complete.
+	nt := &token{parent: t, vec: t.vec, owner: n}
+	t.addChild(nt)
+	n.tokens[nt] = struct{}{}
+	for w := range n.amem.wmes {
+		if n.passes(nt, w) {
+			nt.nresults++
+			jr := &negJoinResult{owner: nt, wme: w, node: n}
+			n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+		}
+	}
+	if nt.nresults == 0 {
+		n.propagate(nt)
+	}
+}
+
+func (n *negativeNode) removeToken(t *token) {
+	delete(n.tokens, t)
+	// This token's join results stay in the per-WME index; they are
+	// filtered out via the dead flag when consumed (Network.removeWME).
+}
+
+func (n *negativeNode) rightAdd(w *wm.WME) {
+	for t := range n.tokens {
+		if n.passes(t, w) {
+			if t.nresults == 0 {
+				// Absence no longer holds: retract descendants.
+				n.net.deleteDescendants(t)
+			}
+			t.nresults++
+			jr := &negJoinResult{owner: t, wme: w, node: n}
+			n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+		}
+	}
+}
+
+func (n *negativeNode) rightRemove(*wm.WME) {
+	// Handled centrally via wmeNegResults in Network.removeWME.
+}
+
+// productionNode terminates a rule's chain and maintains its
+// instantiations.
+type productionNode struct {
+	net  *Network
+	rule *compile.Rule
+	// insts maps tokens to their instantiations for O(1) retraction.
+	insts map[*token]*match.Instantiation
+}
+
+func (p *productionNode) leftActivate(t *token) {
+	t.owner = p
+	in := match.NewInstantiation(p.rule, t.vec)
+	p.insts[t] = in
+	p.net.conflictSet[in.Key()] = in
+	p.net.coll.Add(in)
+}
+
+func (p *productionNode) removeToken(t *token) {
+	in, ok := p.insts[t]
+	if !ok {
+		return
+	}
+	delete(p.insts, t)
+	delete(p.net.conflictSet, in.Key())
+	p.net.coll.Remove(in)
+}

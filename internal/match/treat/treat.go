@@ -1,0 +1,299 @@
+// Package treat implements the TREAT match algorithm (Miranker, "TREAT: A
+// Better Match Algorithm for AI Production Systems", 1987) as the
+// alternative incremental matcher studied alongside RETE in the parallel
+// production-system literature PARULEL belongs to.
+//
+// TREAT retains only the alpha memories and the conflict set — no beta
+// (partial-match) state. On each working-memory change it re-derives the
+// affected instantiations by seeded joins across the alpha memories:
+//
+//   - adding a WME that matches a positive CE seeds a join with that WME
+//     fixed at the CE;
+//   - removing such a WME deletes the conflict-set entries containing it;
+//   - adding a WME that matches a negated CE deletes the instantiations it
+//     now blocks;
+//   - removing one re-derives the combinations it alone was blocking.
+//
+// The classic trade-off reproduced by experiment E4: cheaper memory and
+// cheap removals, but join work is repeated on every addition, which loses
+// to RETE on deep join chains with small deltas.
+package treat
+
+import (
+	"parulel/internal/compile"
+	"parulel/internal/match"
+	"parulel/internal/wm"
+)
+
+// Treat is a TREAT matcher over a partition of rules. It implements
+// match.Matcher and must be used by a single goroutine.
+type Treat struct {
+	rules []*ruleState
+	// conflictSet holds all current instantiations by key.
+	conflictSet map[string]*match.Instantiation
+	// byWME indexes instantiations by the WMEs they contain, for O(1)
+	// removal.
+	byWME map[*wm.WME]map[string]*match.Instantiation
+	coll  *match.ChangeCollector
+}
+
+var _ match.Matcher = (*Treat)(nil)
+
+type ruleState struct {
+	rule *compile.Rule
+	// alphas holds one alpha memory per condition element, in source
+	// order (negated CEs included).
+	alphas []map[*wm.WME]struct{}
+	// insts holds this rule's current instantiations by key, for
+	// negated-CE violation checks.
+	insts map[string]*match.Instantiation
+}
+
+// New builds a TREAT matcher for the given rules. It satisfies
+// match.Factory.
+func New(rules []*compile.Rule) match.Matcher {
+	t := &Treat{
+		conflictSet: make(map[string]*match.Instantiation),
+		byWME:       make(map[*wm.WME]map[string]*match.Instantiation),
+		coll:        match.NewChangeCollector(),
+	}
+	for _, r := range rules {
+		rs := &ruleState{
+			rule:   r,
+			alphas: make([]map[*wm.WME]struct{}, len(r.CEs)),
+			insts:  make(map[string]*match.Instantiation),
+		}
+		for i := range rs.alphas {
+			rs.alphas[i] = make(map[*wm.WME]struct{})
+		}
+		t.rules = append(t.rules, rs)
+	}
+	return t
+}
+
+// Apply feeds a working-memory delta and returns conflict-set changes.
+func (t *Treat) Apply(delta wm.Delta) match.Changes {
+	for _, w := range delta.Removed {
+		t.removeWME(w)
+	}
+	for _, w := range delta.Added {
+		t.addWME(w)
+	}
+	return t.coll.Take()
+}
+
+func (t *Treat) addInst(rs *ruleState, in *match.Instantiation) {
+	key := in.Key()
+	if _, dup := t.conflictSet[key]; dup {
+		return
+	}
+	t.conflictSet[key] = in
+	rs.insts[key] = in
+	for _, w := range in.WMEs {
+		idx := t.byWME[w]
+		if idx == nil {
+			idx = make(map[string]*match.Instantiation)
+			t.byWME[w] = idx
+		}
+		idx[key] = in
+	}
+	t.coll.Add(in)
+}
+
+func (t *Treat) dropInst(rs *ruleState, in *match.Instantiation) {
+	key := in.Key()
+	if _, ok := t.conflictSet[key]; !ok {
+		return
+	}
+	delete(t.conflictSet, key)
+	delete(rs.insts, key)
+	for _, w := range in.WMEs {
+		if idx := t.byWME[w]; idx != nil {
+			delete(idx, key)
+			if len(idx) == 0 {
+				delete(t.byWME, w)
+			}
+		}
+	}
+	t.coll.Remove(in)
+}
+
+func (t *Treat) ruleStateOf(in *match.Instantiation) *ruleState {
+	for _, rs := range t.rules {
+		if rs.rule == in.Rule {
+			return rs
+		}
+	}
+	panic("treat: instantiation of unknown rule")
+}
+
+func (t *Treat) addWME(w *wm.WME) {
+	for _, rs := range t.rules {
+		// First pass: insert into every matching alpha memory so joins see
+		// a consistent state.
+		matched := make([]int, 0, 4)
+		for i, ce := range rs.rule.CEs {
+			if ce.MatchesAlpha(w) {
+				rs.alphas[i][w] = struct{}{}
+				matched = append(matched, i)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		// Negated matches first: they can only retract, and retracting
+		// before seeding keeps the additions consistent with the new WM.
+		for _, i := range matched {
+			ce := rs.rule.CEs[i]
+			if !ce.Negated {
+				continue
+			}
+			for _, in := range instList(rs.insts) {
+				if negMatches(ce, w, in.WMEs) {
+					t.dropInst(rs, in)
+				}
+			}
+		}
+		for _, i := range matched {
+			ce := rs.rule.CEs[i]
+			if ce.Negated {
+				continue
+			}
+			t.seedJoin(rs, ce.PosIndex, w, nil)
+		}
+	}
+}
+
+func (t *Treat) removeWME(w *wm.WME) {
+	// Retract instantiations containing w (positive usages) across all
+	// rules.
+	if idx := t.byWME[w]; idx != nil {
+		for _, in := range instList(idx) {
+			t.dropInst(t.ruleStateOf(in), in)
+		}
+	}
+	for _, rs := range t.rules {
+		// Remove from the rule's alpha memories, remembering which negated
+		// CEs held it.
+		var negHits []int
+		for i, ce := range rs.rule.CEs {
+			if _, ok := rs.alphas[i][w]; !ok {
+				continue
+			}
+			delete(rs.alphas[i], w)
+			if ce.Negated {
+				negHits = append(negHits, i)
+			}
+		}
+		// Combinations that only w was blocking are now live.
+		for _, i := range negHits {
+			t.seedJoin(rs, -1, w, rs.rule.CEs[i])
+		}
+	}
+}
+
+// instList snapshots a map of instantiations so the caller can mutate the
+// map while iterating.
+func instList(m map[string]*match.Instantiation) []*match.Instantiation {
+	out := make([]*match.Instantiation, 0, len(m))
+	for _, in := range m {
+		out = append(out, in)
+	}
+	return out
+}
+
+// negMatches reports whether WME w satisfies the negated CE's join tests
+// against the positive vector vec (alpha tests are already guaranteed by
+// alpha membership).
+func negMatches(ce *compile.CondElem, w *wm.WME, vec []*wm.WME) bool {
+	for _, jt := range ce.JoinTests {
+		if !jt.Op.Apply(w.Fields[jt.Field], vec[jt.OtherCE].Fields[jt.OtherField]) {
+			return false
+		}
+	}
+	return true
+}
+
+// seedJoin enumerates complete matches of rs.rule and adds them.
+//
+// With seedPos >= 0, the WME seed is fixed at positive CE seedPos, and to
+// avoid generating the same combination from two seed positions when the
+// seed matches several CEs, positions before seedPos exclude the seed.
+//
+// With seedPos < 0, negSeed names a negated CE and seed the WME just
+// removed from its alpha memory: only combinations that seed *would have
+// blocked* are enumerated (removal-enablement).
+func (t *Treat) seedJoin(rs *ruleState, seedPos int, seed *wm.WME, negSeed *compile.CondElem) {
+	vec := make([]*wm.WME, rs.rule.NumPositive)
+	t.joinFrom(rs, 0, vec, seedPos, seed, negSeed)
+}
+
+func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, seed *wm.WME, negSeed *compile.CondElem) {
+	if ceIdx == len(rs.rule.CEs) {
+		full := append([]*wm.WME(nil), vec...)
+		t.addInst(rs, match.NewInstantiation(rs.rule, full))
+		return
+	}
+	ce := rs.rule.CEs[ceIdx]
+	if ce.Negated {
+		// The negation must hold over the bindings established so far
+		// (all its join tests reference earlier positive CEs).
+		for w := range rs.alphas[ceIdx] {
+			if negMatches(ce, w, vec) {
+				return
+			}
+		}
+		// Removal-enablement: the removed WME must have been blocking this
+		// combination.
+		if ce == negSeed && !negMatches(ce, seed, vec) {
+			return
+		}
+		t.joinFrom(rs, ceIdx+1, vec, seedPos, seed, negSeed)
+		return
+	}
+	p := ce.PosIndex
+	tryWME := func(w *wm.WME) {
+		for _, jt := range ce.JoinTests {
+			if !jt.Op.Apply(w.Fields[jt.Field], vec[jt.OtherCE].Fields[jt.OtherField]) {
+				return
+			}
+		}
+		vec[p] = w
+		if match.EvalFilters(ce, vec[:p+1]) {
+			t.joinFrom(rs, ceIdx+1, vec, seedPos, seed, negSeed)
+		}
+		vec[p] = nil
+	}
+	if p == seedPos {
+		tryWME(seed)
+		return
+	}
+	for w := range rs.alphas[ceIdx] {
+		if seedPos >= 0 && w == seed && p < seedPos {
+			continue // dedup: earlier positions exclude the seed
+		}
+		tryWME(w)
+	}
+}
+
+// ConflictSet returns the current instantiations in deterministic order.
+func (t *Treat) ConflictSet() []*match.Instantiation {
+	out := make([]*match.Instantiation, 0, len(t.conflictSet))
+	for _, in := range t.conflictSet {
+		out = append(out, in)
+	}
+	match.SortInstantiations(out)
+	return out
+}
+
+// MemStats reports current state sizes. TREAT holds no beta tokens.
+func (t *Treat) MemStats() match.MemStats {
+	var ms match.MemStats
+	for _, rs := range t.rules {
+		for _, a := range rs.alphas {
+			ms.AlphaItems += len(a)
+		}
+	}
+	ms.ConflictSet = len(t.conflictSet)
+	return ms
+}

@@ -1,0 +1,282 @@
+package ops5
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"parulel/internal/compile"
+	"parulel/internal/match/treat"
+	"parulel/internal/wm"
+)
+
+func compileOK(t *testing.T, src string) *compile.Program {
+	t.Helper()
+	p, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestOPS5FiresOnePerCycle(t *testing.T) {
+	// The defining OPS5 property: N independent matches need N cycles.
+	prog := compileOK(t, `
+(literalize src id)
+(literalize sink id)
+(rule expand (src ^id <i>) --> (make sink ^id <i>) (remove 1))
+(wm (src ^id 1) (src ^id 2) (src ^id 3) (src ^id 4) (src ^id 5))
+`)
+	e := New(prog, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 5 || res.Firings != 5 {
+		t.Errorf("cycles=%d firings=%d, want 5/5 (one per cycle)", res.Cycles, res.Firings)
+	}
+	if n := e.Memory().CountOf("sink"); n != 5 {
+		t.Errorf("sinks = %d", n)
+	}
+}
+
+func TestOPS5LEXPrefersRecency(t *testing.T) {
+	// Two matches; LEX fires the more recent one first.
+	prog := compileOK(t, `
+(literalize a x)
+(literalize log x)
+(rule r (a ^x <v>) --> (make log ^x <v>) (remove 1))
+(wm (a ^x 10) (a ^x 20))
+`)
+	e := New(prog, Options{Strategy: LEX})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	logs := e.Memory().OfTemplate("log")
+	if len(logs) != 2 {
+		t.Fatalf("logs: %v", logs)
+	}
+	// a ^x 20 has the later time tag, so it logs first.
+	if logs[0].Fields[0] != wm.Int(20) || logs[1].Fields[0] != wm.Int(10) {
+		t.Errorf("LEX order wrong: %v", logs)
+	}
+}
+
+func TestOPS5LEXSpecificityTieBreak(t *testing.T) {
+	// Both rules match the same single WME (equal recency); the more
+	// specific rule must win.
+	prog := compileOK(t, `
+(literalize a x flag)
+(literalize log which)
+(rule broad
+  <w> <- (a ^x <v>)
+-->
+  (make log ^which broad)
+  (remove <w>))
+(rule narrow
+  <w> <- (a ^x <v> ^flag on)
+  (test (> <v> 0))
+-->
+  (make log ^which narrow)
+  (remove <w>))
+(wm (a ^x 1 ^flag on))
+`)
+	e := New(prog, Options{Strategy: LEX})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	logs := e.Memory().OfTemplate("log")
+	if len(logs) != 1 || logs[0].Fields[0] != wm.Sym("narrow") {
+		t.Errorf("specificity tie-break wrong: %v", logs)
+	}
+}
+
+func TestOPS5MEAFirstElementDominates(t *testing.T) {
+	// MEA prioritizes the first CE's recency: the goal WME made later
+	// drives control, even though another instantiation has a more recent
+	// non-first tag.
+	prog := compileOK(t, `
+(literalize goal id)
+(literalize datum id)
+(literalize log goal)
+(rule act
+  (goal ^id <g>)
+  (datum ^id <d>)
+-->
+  (make log ^goal <g>)
+  (remove 1))
+(wm (goal ^id 1) (datum ^id 100) (goal ^id 2))
+`)
+	// Under MEA: instantiations (goal1,datum) first-tag=1, (goal2,datum)
+	// first-tag=3 → goal 2 fires first.
+	e := New(prog, Options{Strategy: MEA})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	logs := e.Memory().OfTemplate("log")
+	if len(logs) != 2 {
+		t.Fatalf("logs: %v", logs)
+	}
+	if logs[0].Fields[0] != wm.Int(2) || logs[1].Fields[0] != wm.Int(1) {
+		t.Errorf("MEA order wrong: %v", logs)
+	}
+}
+
+func TestOPS5Refraction(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(literalize out x)
+(rule once (a ^x <v>) --> (make out ^x <v>))
+(wm (a ^x 1))
+`)
+	e := New(prog, Options{MaxCycles: 10})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 1 {
+		t.Errorf("firings = %d, want 1", res.Firings)
+	}
+}
+
+func TestOPS5HaltAndMaxCycles(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(rule stop (a ^x <v>) --> (halt))
+(wm (a ^x 1))
+`)
+	e := New(prog, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Cycles != 1 {
+		t.Errorf("halt: %+v", res)
+	}
+
+	div := compileOK(t, `
+(literalize a x)
+(rule grow (a ^x <v>) --> (make a ^x (+ <v> 1)))
+(wm (a ^x 0))
+`)
+	e2 := New(div, Options{MaxCycles: 7})
+	_, err = e2.Run()
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestOPS5WriteAndTreatMatcher(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(rule greet (a ^x <v>) --> (write "got " <v> (crlf)) (remove 1))
+(wm (a ^x 7))
+`)
+	var buf bytes.Buffer
+	e := New(prog, Options{Output: &buf, Matcher: treat.New})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "got 7\n" {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestOPS5ModifyLoop(t *testing.T) {
+	prog := compileOK(t, `
+(literalize counter n)
+(rule dec
+  <c> <- (counter ^n <n>)
+  (test (> <n> 0))
+-->
+  (modify <c> ^n (- <n> 1)))
+(wm (counter ^n 4))
+`)
+	e := New(prog, Options{MaxCycles: 20})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 4 {
+		t.Errorf("firings = %d, want 4", res.Firings)
+	}
+	c := e.Memory().OfTemplate("counter")
+	if len(c) != 1 || c[0].Fields[0] != wm.Int(0) {
+		t.Errorf("counter: %v", c)
+	}
+}
+
+func TestOPS5RHSEvalErrorSurfaces(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(rule bad (a ^x <v>) --> (make a ^x (div <v> 0)))
+(wm (a ^x 1))
+`)
+	e := New(prog, Options{MaxCycles: 5})
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOPS5ExplainConflictSet(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(literalize out x)
+(rule once (a ^x <v>) --> (make out ^x <v>))
+(wm (a ^x 3))
+`)
+	e := New(prog, Options{MaxCycles: 10})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.ExplainConflictSet(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "fired (refracted)") || !strings.Contains(s, "<v> = 3") {
+		t.Errorf("explain: %q", s)
+	}
+}
+
+func TestOPS5InsertFieldsAndGensym(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(literalize node id src)
+(rule tag-it (a ^x <v>) --> (bind <id>) (make node ^id <id> ^src <v>) (remove 1))
+`)
+	e := New(prog, Options{MaxCycles: 10})
+	tmpl := e.Memory().Schema().MustLookup("a")
+	e.InsertFields(tmpl, []wm.Value{wm.Int(5)})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := e.Memory().OfTemplate("node")
+	if len(nodes) != 1 || nodes[0].Fields[0].Kind != wm.KindSym {
+		t.Fatalf("nodes: %v", nodes)
+	}
+}
+
+func TestOPS5BindExpression(t *testing.T) {
+	prog := compileOK(t, `
+(literalize a x)
+(literalize out x)
+(rule r (a ^x <v>) --> (bind <d> (* <v> 3)) (make out ^x <d>) (remove 1))
+(wm (a ^x 4))
+`)
+	e := New(prog, Options{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs := e.Memory().OfTemplate("out")
+	if len(outs) != 1 || outs[0].Fields[0] != wm.Int(12) {
+		t.Fatalf("outs: %v", outs)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if LEX.String() != "LEX" || MEA.String() != "MEA" {
+		t.Error("Strategy.String wrong")
+	}
+}

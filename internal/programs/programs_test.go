@@ -1,0 +1,79 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllProgramsLoadAndHaveMeta(t *testing.T) {
+	// Every shipped program should demonstrate redaction except the ones
+	// whose domains don't need it.
+	wantMeta := map[string]bool{
+		Quickstart: true, Alexsys: true, Waltz: true, Closure: true, Manners: true,
+		Life:    false, // conflict-free by construction: no meta-rules needed
+		Circuit: true,
+	}
+	for _, name := range All() {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Rules) == 0 {
+			t.Errorf("%s: no rules", name)
+		}
+		if wantMeta[name] && len(p.MetaRules) == 0 {
+			t.Errorf("%s: expected meta-rules", name)
+		}
+	}
+}
+
+func TestSourceAndAST(t *testing.T) {
+	src, err := Source(Alexsys)
+	if err != nil || !strings.Contains(src, "metarule one-award-per-pool") {
+		t.Fatalf("Source: %v", err)
+	}
+	ast, err := AST(Alexsys)
+	if err != nil || len(ast.MetaRules) != 2 {
+		t.Fatalf("AST: %v / %d metarules", err, len(ast.MetaRules))
+	}
+	if _, err := Source("ghost"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := AST("ghost"); err == nil {
+		t.Error("unknown AST should fail")
+	}
+	if _, err := LoadWithoutMetaRules("ghost"); err == nil {
+		t.Error("unknown program should fail")
+	}
+}
+
+func TestLoadReturnsFreshPrograms(t *testing.T) {
+	a, err := Load(Closure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(Closure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Rules[0] == b.Rules[0] {
+		t.Error("Load must return fresh compiled programs")
+	}
+}
+
+func TestStripMetaKeepsRules(t *testing.T) {
+	full, err := Load(Waltz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := LoadWithoutMetaRules(Waltz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stripped.MetaRules) != 0 {
+		t.Error("meta-rules not stripped")
+	}
+	if len(stripped.Rules) != len(full.Rules) {
+		t.Error("object rules must be preserved")
+	}
+}

@@ -1,0 +1,103 @@
+// Package snapshot persists working memory as PARULEL `(wm …)` source,
+// and loads it back. This is the reproduction's stand-in for the
+// PARULEL/PARADISER line's database coupling: rule processing runs to
+// quiescence, the working memory is exported, updates arrive from
+// outside, and processing resumes incrementally.
+//
+// The format is deliberately the language's own initial-facts syntax, so
+// a snapshot can be concatenated with a program file and run directly by
+// `cmd/parulel`.
+package snapshot
+
+import (
+	"fmt"
+	"io"
+
+	"parulel/internal/lang"
+	"parulel/internal/wm"
+)
+
+// Inserter receives loaded facts; both engines and wm.Memory adapters
+// implement it.
+type Inserter interface {
+	Insert(template string, fields map[string]wm.Value) (*wm.WME, error)
+}
+
+// Write renders every live WME of mem as one fact inside a `(wm …)`
+// block, in time-tag order. Nil-valued attributes are elided. Symbols
+// that would not re-lex as a single token (e.g. containing spaces) are
+// rejected: they cannot round-trip through source text.
+func Write(w io.Writer, mem *wm.Memory) error {
+	if _, err := fmt.Fprintln(w, "(wm"); err != nil {
+		return err
+	}
+	for _, el := range mem.Snapshot() {
+		if _, err := fmt.Fprint(w, "  ("); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprint(w, el.Tmpl.Name); err != nil {
+			return err
+		}
+		for i, attr := range el.Tmpl.Attrs {
+			v := el.Fields[i]
+			if v.IsNil() {
+				continue
+			}
+			if err := checkWritable(v); err != nil {
+				return fmt.Errorf("snapshot: WME %d attribute %s: %w", el.Time, attr, err)
+			}
+			if _, err := fmt.Fprintf(w, " ^%s %s", attr, v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, ")"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ")")
+	return err
+}
+
+// checkWritable verifies that a value's literal form re-lexes to the
+// same value.
+func checkWritable(v wm.Value) error {
+	if v.Kind != wm.KindSym {
+		return nil // numbers, strings and nil always round-trip
+	}
+	toks, err := lang.LexAll(v.S)
+	if err != nil || len(toks) != 2 || toks[0].Kind != lang.TokSym || toks[0].Text != v.S {
+		return fmt.Errorf("symbol %q does not round-trip through source text", v.S)
+	}
+	return nil
+}
+
+// Read parses PARULEL source consisting of `(wm …)` blocks (and
+// optionally template declarations, which are ignored) and inserts every
+// fact into ins. It returns the number of facts inserted.
+func Read(r io.Reader, ins Inserter) (int, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(prog.Rules) > 0 || len(prog.MetaRules) > 0 {
+		return 0, fmt.Errorf("snapshot: input contains rules; a snapshot holds only (wm …) blocks")
+	}
+	n := 0
+	for _, fd := range prog.Facts {
+		for _, f := range fd.Facts {
+			fields := make(map[string]wm.Value, len(f.Slots))
+			for _, s := range f.Slots {
+				fields[s.Attr] = s.Val
+			}
+			if _, err := ins.Insert(f.Type, fields); err != nil {
+				return n, fmt.Errorf("snapshot: fact (%s …): %w", f.Type, err)
+			}
+			n++
+		}
+	}
+	return n, nil
+}

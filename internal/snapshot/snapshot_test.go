@@ -1,0 +1,153 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parulel/internal/core"
+	"parulel/internal/programs"
+	"parulel/internal/wm"
+	"parulel/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	prog, err := programs.Load(programs.Alexsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the allocation to quiescence, snapshot the result.
+	e1 := core.New(prog, core.Options{MaxCycles: 1000})
+	if err := workload.Alexsys(e1, 20, 15, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, e1.Memory()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "(wm\n") {
+		t.Errorf("snapshot should be a (wm …) block:\n%.80s", buf.String())
+	}
+
+	// Load into a fresh engine: identical WM contents (modulo time tags).
+	prog2, err := programs.Load(programs.Alexsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := core.New(prog2, core.Options{MaxCycles: 1000})
+	n, err := Read(bytes.NewReader(buf.Bytes()), e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != e1.Memory().Len() {
+		t.Fatalf("loaded %d facts, memory had %d", n, e1.Memory().Len())
+	}
+	canon := func(mem *wm.Memory) string {
+		var b strings.Builder
+		for _, w := range mem.Snapshot() {
+			// Strip the time tag: only content matters.
+			s := w.String()
+			b.WriteString(s[strings.Index(s, "("):])
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	if canon(e1.Memory()) != canon(e2.Memory()) {
+		t.Errorf("round trip changed WM:\nbefore:\n%s\nafter:\n%s", canon(e1.Memory()), canon(e2.Memory()))
+	}
+
+	// The restored engine is already quiescent: the allocation was
+	// maximal, so resuming does nothing.
+	res, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 0 {
+		t.Errorf("restored quiescent state fired %d times", res.Firings)
+	}
+}
+
+func TestWriteAllValueKinds(t *testing.T) {
+	schema := wm.NewSchema()
+	if _, err := schema.Declare("t", "a", "b", "c", "d", "e"); err != nil {
+		t.Fatal(err)
+	}
+	mem := wm.NewMemory(schema)
+	if _, err := mem.Insert("t", map[string]wm.Value{
+		"a": wm.Int(-7),
+		"b": wm.Float(2.5),
+		"c": wm.Sym("sym-bol*2"),
+		"d": wm.Str("a \"quoted\"\nstring"),
+		// e stays nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	mem2 := wm.NewMemory(schema)
+	if _, err := Read(bytes.NewReader(buf.Bytes()), memInserter{mem2}); err != nil {
+		t.Fatalf("read back: %v\nsnapshot:\n%s", err, buf.String())
+	}
+	got := mem2.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("facts: %d", len(got))
+	}
+	want := mem.Snapshot()[0]
+	for i := range want.Fields {
+		if got[0].Fields[i] != want.Fields[i] {
+			t.Errorf("field %d: %v != %v", i, got[0].Fields[i], want.Fields[i])
+		}
+	}
+}
+
+// memInserter adapts a bare Memory to the Inserter interface.
+type memInserter struct{ mem *wm.Memory }
+
+func (m memInserter) Insert(tmpl string, fields map[string]wm.Value) (*wm.WME, error) {
+	return m.mem.Insert(tmpl, fields)
+}
+
+func TestWriteRejectsUnlexableSymbols(t *testing.T) {
+	schema := wm.NewSchema()
+	if _, err := schema.Declare("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"has space", "paren(", "123starts-digit", ""} {
+		mem := wm.NewMemory(schema)
+		if _, err := mem.Insert("t", map[string]wm.Value{"a": wm.Sym(bad)}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, mem); err == nil {
+			t.Errorf("symbol %q should not be writable", bad)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	schema := wm.NewSchema()
+	if _, err := schema.Declare("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	mem := wm.NewMemory(schema)
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"(rule r (t ^a 1) --> (halt))", "contains rules"},
+		{"(wm (ghost ^a 1))", "undeclared"},
+		{"(wm (t ^nope 1))", "no attribute"},
+		{"(wm (t ^a", "expected"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.src), memInserter{mem})
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("Read(%q) error = %v, want %q", c.src, err, c.substr)
+		}
+	}
+}

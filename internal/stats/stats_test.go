@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRun() *Run {
+	r := &Run{}
+	r.Add(Cycle{Match: 40 * time.Millisecond, Redact: 10 * time.Millisecond,
+		Fire: 30 * time.Millisecond, Apply: 20 * time.Millisecond,
+		ConflictSize: 10, Redacted: 4, Fired: 6, DeltaSize: 12})
+	r.Add(Cycle{Match: 60 * time.Millisecond, Redact: 30 * time.Millisecond,
+		Fire: 10 * time.Millisecond, Apply: 0,
+		ConflictSize: 25, Redacted: 20, Fired: 5, DeltaSize: 5})
+	return r
+}
+
+func TestTotals(t *testing.T) {
+	m, re, f, a := sampleRun().Totals()
+	if m != 100*time.Millisecond || re != 40*time.Millisecond ||
+		f != 40*time.Millisecond || a != 20*time.Millisecond {
+		t.Errorf("totals: %v %v %v %v", m, re, f, a)
+	}
+}
+
+func TestBreakdownSumsTo100(t *testing.T) {
+	m, re, f, a := sampleRun().Breakdown()
+	if sum := m + re + f + a; math.Abs(sum-100) > 1e-9 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+	if m != 50 {
+		t.Errorf("match share = %v, want 50", m)
+	}
+}
+
+func TestBreakdownEmptyRun(t *testing.T) {
+	var r Run
+	m, re, f, a := r.Breakdown()
+	if m != 0 || re != 0 || f != 0 || a != 0 {
+		t.Error("empty run should have zero shares")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := sampleRun()
+	if r.TotalFired() != 11 {
+		t.Errorf("fired = %d", r.TotalFired())
+	}
+	if r.TotalRedacted() != 24 {
+		t.Errorf("redacted = %d", r.TotalRedacted())
+	}
+	if r.MaxConflictSize() != 25 {
+		t.Errorf("max conflict = %d", r.MaxConflictSize())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sampleRun().String()
+	for _, want := range []string{"cycles=2", "fired=11", "redacted=24", "match=50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

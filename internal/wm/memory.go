@@ -1,0 +1,129 @@
+package wm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is the working memory: the authoritative set of live WMEs. The
+// engines mutate it only between match phases (at the cycle barrier), so it
+// needs no internal locking; matcher partitions receive immutable Delta
+// values instead of touching Memory concurrently.
+type Memory struct {
+	schema   *Schema
+	nextTime int64
+	byTime   map[int64]*WME
+	byTmpl   map[*Template]map[int64]*WME
+}
+
+// NewMemory returns an empty working memory over the given schema.
+func NewMemory(schema *Schema) *Memory {
+	return &Memory{
+		schema: schema,
+		byTime: make(map[int64]*WME),
+		byTmpl: make(map[*Template]map[int64]*WME),
+	}
+}
+
+// Schema returns the schema this memory was created with.
+func (m *Memory) Schema() *Schema { return m.schema }
+
+// Insert creates a WME of the named template and adds it to the memory.
+// fields maps attribute names to values; unmentioned attributes are nil.
+func (m *Memory) Insert(template string, fields map[string]Value) (*WME, error) {
+	t, ok := m.schema.Lookup(template)
+	if !ok {
+		return nil, fmt.Errorf("wm: make of undeclared template %q", template)
+	}
+	vals := make([]Value, t.Arity())
+	for attr, v := range fields {
+		i, ok := t.AttrIndex(attr)
+		if !ok {
+			return nil, fmt.Errorf("wm: template %q has no attribute %q", template, attr)
+		}
+		vals[i] = v
+	}
+	return m.InsertFields(t, vals), nil
+}
+
+// InsertFields adds a WME with a pre-built positional field vector. The
+// vector is owned by the memory after the call. It panics if the vector
+// length does not match the template arity; that is a compiler bug, not a
+// user error.
+func (m *Memory) InsertFields(t *Template, fields []Value) *WME {
+	if len(fields) != t.Arity() {
+		panic(fmt.Sprintf("wm: template %q arity %d, got %d fields", t.Name, t.Arity(), len(fields)))
+	}
+	m.nextTime++
+	w := &WME{Time: m.nextTime, Tmpl: t, Fields: fields}
+	m.byTime[w.Time] = w
+	class := m.byTmpl[t]
+	if class == nil {
+		class = make(map[int64]*WME)
+		m.byTmpl[t] = class
+	}
+	class[w.Time] = w
+	return w
+}
+
+// Remove deletes the WME with the given time tag and returns it. Removing
+// an absent tag returns (nil, false); parallel firing makes double-removes
+// legitimate (two instantiations may remove the same element), so this is
+// not an error.
+func (m *Memory) Remove(time int64) (*WME, bool) {
+	w, ok := m.byTime[time]
+	if !ok {
+		return nil, false
+	}
+	delete(m.byTime, time)
+	delete(m.byTmpl[w.Tmpl], time)
+	return w, true
+}
+
+// Get returns the live WME with the given time tag.
+func (m *Memory) Get(time int64) (*WME, bool) {
+	w, ok := m.byTime[time]
+	return w, ok
+}
+
+// Len returns the number of live WMEs.
+func (m *Memory) Len() int { return len(m.byTime) }
+
+// CountOf returns the number of live WMEs of the named template.
+func (m *Memory) CountOf(template string) int {
+	t, ok := m.schema.Lookup(template)
+	if !ok {
+		return 0
+	}
+	return len(m.byTmpl[t])
+}
+
+// Snapshot returns all live WMEs ordered by time tag. The slice is fresh;
+// the WMEs are shared (immutable).
+func (m *Memory) Snapshot() []*WME {
+	out := make([]*WME, 0, len(m.byTime))
+	for _, w := range m.byTime {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// OfTemplate returns the live WMEs of the named template ordered by time
+// tag.
+func (m *Memory) OfTemplate(template string) []*WME {
+	t, ok := m.schema.Lookup(template)
+	if !ok {
+		return nil
+	}
+	out := make([]*WME, 0, len(m.byTmpl[t]))
+	for _, w := range m.byTmpl[t] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// NextTime reports the time tag the next inserted WME will receive minus
+// one, i.e. the highest tag handed out so far.
+func (m *Memory) NextTime() int64 { return m.nextTime }

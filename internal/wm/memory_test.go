@@ -1,0 +1,176 @@
+package wm
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if _, err := s.Declare("pool", "id", "amount", "status"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Declare("order", "id", "lo", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaDeclareAndLookup(t *testing.T) {
+	s := testSchema(t)
+	p, ok := s.Lookup("pool")
+	if !ok {
+		t.Fatal("pool not found")
+	}
+	if p.Name != "pool" || p.Arity() != 3 {
+		t.Fatalf("bad template: %+v", p)
+	}
+	if i, ok := p.AttrIndex("amount"); !ok || i != 1 {
+		t.Fatalf("AttrIndex(amount) = %d,%v", i, ok)
+	}
+	if _, ok := p.AttrIndex("missing"); ok {
+		t.Fatal("AttrIndex(missing) should fail")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) should fail")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "order" || got[1] != "pool" {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestSchemaDeclareErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := s.Declare("pool", "x"); err == nil {
+		t.Error("redeclaration should fail")
+	}
+	if _, err := s.Declare("t2", "a", "a"); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	if _, err := s.Declare("", "a"); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := s.Declare("t3", ""); err == nil {
+		t.Error("empty attribute should fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	s := testSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup should panic on unknown template")
+		}
+	}()
+	s.MustLookup("nope")
+}
+
+func TestMemoryInsertRemove(t *testing.T) {
+	m := NewMemory(testSchema(t))
+	w1, err := m.Insert("pool", map[string]Value{"id": Int(1), "amount": Int(100), "status": Sym("free")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := m.Insert("pool", map[string]Value{"id": Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Time >= w2.Time {
+		t.Fatalf("time tags must increase: %d then %d", w1.Time, w2.Time)
+	}
+	if m.Len() != 2 || m.CountOf("pool") != 2 || m.CountOf("order") != 0 {
+		t.Fatalf("counts wrong: len=%d pool=%d order=%d", m.Len(), m.CountOf("pool"), m.CountOf("order"))
+	}
+	// Unmentioned attributes default to nil.
+	if v, _ := w2.FieldByName("status"); !v.IsNil() {
+		t.Fatalf("unset attribute should be nil, got %v", v)
+	}
+	got, ok := m.Remove(w1.Time)
+	if !ok || got != w1 {
+		t.Fatalf("Remove returned %v,%v", got, ok)
+	}
+	if _, ok := m.Remove(w1.Time); ok {
+		t.Fatal("double remove should report absent")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after remove = %d", m.Len())
+	}
+	if _, ok := m.Get(w1.Time); ok {
+		t.Fatal("removed WME still visible via Get")
+	}
+}
+
+func TestMemoryInsertErrors(t *testing.T) {
+	m := NewMemory(testSchema(t))
+	if _, err := m.Insert("ghost", nil); err == nil {
+		t.Error("insert of undeclared template should fail")
+	}
+	if _, err := m.Insert("pool", map[string]Value{"nope": Int(1)}); err == nil {
+		t.Error("insert with unknown attribute should fail")
+	}
+}
+
+func TestInsertFieldsArityPanic(t *testing.T) {
+	m := NewMemory(testSchema(t))
+	tmpl := m.Schema().MustLookup("pool")
+	defer func() {
+		if recover() == nil {
+			t.Error("InsertFields with wrong arity should panic")
+		}
+	}()
+	m.InsertFields(tmpl, []Value{Int(1)})
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	m := NewMemory(testSchema(t))
+	for i := 0; i < 10; i++ {
+		if _, err := m.Insert("pool", map[string]Value{"id": Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap) != 10 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Time >= snap[i].Time {
+			t.Fatal("snapshot not ordered by time tag")
+		}
+	}
+	pools := m.OfTemplate("pool")
+	if len(pools) != 10 {
+		t.Fatalf("OfTemplate len = %d", len(pools))
+	}
+	if m.OfTemplate("ghost") != nil {
+		t.Fatal("OfTemplate of unknown template should be nil")
+	}
+}
+
+func TestWMEString(t *testing.T) {
+	m := NewMemory(testSchema(t))
+	w, err := m.Insert("pool", map[string]Value{"id": Int(3), "status": Sym("free")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.String()
+	if !strings.Contains(s, "(pool") || !strings.Contains(s, "^id 3") || !strings.Contains(s, "^status free") {
+		t.Errorf("WME string missing parts: %q", s)
+	}
+	if strings.Contains(s, "^amount") {
+		t.Errorf("nil attribute should be elided: %q", s)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var d Delta
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatal("zero delta should be empty")
+	}
+	m := NewMemory(testSchema(t))
+	w, _ := m.Insert("pool", map[string]Value{"id": Int(1)})
+	d = Delta{Added: []*WME{w}}
+	if d.Empty() || d.Size() != 1 {
+		t.Fatal("delta with one addition")
+	}
+}

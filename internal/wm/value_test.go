@@ -1,0 +1,210 @@
+package wm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Nil(), KindNil},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{Sym("abc"), KindSym},
+		{Str("abc"), KindStr},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+}
+
+func TestValueZeroIsNil(t *testing.T) {
+	var v Value
+	if !v.IsNil() {
+		t.Fatalf("zero Value should be nil, got %v", v)
+	}
+	if v != Nil() {
+		t.Fatalf("zero Value != Nil()")
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true) != Sym("true") || Bool(false) != Sym("false") {
+		t.Fatalf("Bool mapping wrong: %v %v", Bool(true), Bool(false))
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Nil(), false},
+		{Sym("false"), false},
+		{Sym("true"), true},
+		{Sym("x"), true},
+		{Int(0), true}, // numbers are always truthy, like OPS5 predicates expect
+		{Float(0), true},
+		{Str(""), true},
+		{Str("false"), true}, // only the *symbol* false is falsy
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEqualIsStrictOnKind(t *testing.T) {
+	if Int(3).Equal(Float(3)) {
+		t.Error("Int(3) must not Equal Float(3): Equal is strict on kind")
+	}
+	if Sym("a").Equal(Str("a")) {
+		t.Error("Sym(a) must not Equal Str(a)")
+	}
+	if !Int(3).Equal(Int(3)) {
+		t.Error("Int(3) should Equal Int(3)")
+	}
+}
+
+func TestNumEqualCrossesKinds(t *testing.T) {
+	if !Int(3).NumEqual(Float(3)) {
+		t.Error("NumEqual(3, 3.0) should hold")
+	}
+	if Int(3).NumEqual(Float(3.5)) {
+		t.Error("NumEqual(3, 3.5) should not hold")
+	}
+	if !Sym("a").NumEqual(Sym("a")) {
+		t.Error("NumEqual on equal symbols should hold")
+	}
+	if Sym("a").NumEqual(Str("a")) {
+		t.Error("NumEqual on sym vs str should not hold")
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if Int(4).AsFloat() != 4.0 {
+		t.Error("Int(4).AsFloat")
+	}
+	if Float(4.9).AsInt() != 4 {
+		t.Error("Float(4.9).AsInt should truncate to 4")
+	}
+	if Sym("x").AsFloat() != 0 || Str("x").AsInt() != 0 {
+		t.Error("non-numeric AsFloat/AsInt should be 0")
+	}
+}
+
+func TestCompareKindGroups(t *testing.T) {
+	ordered := []Value{Nil(), Int(-5), Float(0.5), Int(1), Sym("a"), Sym("b"), Str("a")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericTieBrokenByKind(t *testing.T) {
+	if Int(3).Compare(Float(3)) != -1 {
+		t.Error("Int(3) should sort before Float(3.0) for a total order")
+	}
+	if Float(3).Compare(Int(3)) != 1 {
+		t.Error("Float(3.0) should sort after Int(3)")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Nil(), "nil"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Sym("hello"), "hello"},
+		{Str("hi there"), `"hi there"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Nil()
+	case 1:
+		return Int(int64(r.Intn(21) - 10))
+	case 2:
+		return Float(float64(r.Intn(21)-10) / 2)
+	case 3:
+		return Sym(string(rune('a' + r.Intn(6))))
+	default:
+		return Str(string(rune('a' + r.Intn(6))))
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randomValue(r), B: randomValue(r)})
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(p valuePair) bool {
+		return p.A.Compare(p.B) == -p.B.Compare(p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareConsistentWithEqualProperty(t *testing.T) {
+	f := func(p valuePair) bool {
+		if p.A.Compare(p.B) == 0 {
+			return p.A.Equal(p.B)
+		}
+		return !p.A.Equal(p.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type valueTriple struct{ A, B, C Value }
+
+func (valueTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueTriple{randomValue(r), randomValue(r), randomValue(r)})
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(tr valueTriple) bool {
+		// Sort the triple by Compare and verify pairwise consistency.
+		a, b, c := tr.A, tr.B, tr.C
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parulel/internal/wm"
+)
+
+// LifeGrid inserts a w×h toroidal Game of Life board for life.par: one
+// `cell` per position, eight `adj` neighbour links per cell, the `phase`
+// control element and a `gen` countdown. alive lists the initially live
+// cells as {x, y} pairs.
+func LifeGrid(ins Inserter, w, h int, alive [][2]int, generations int) error {
+	if w < 3 || h < 3 {
+		return fmt.Errorf("workload: life grid must be at least 3x3, got %dx%d", w, h)
+	}
+	live := make(map[[2]int]bool, len(alive))
+	for _, p := range alive {
+		if p[0] < 0 || p[0] >= w || p[1] < 0 || p[1] >= h {
+			return fmt.Errorf("workload: live cell (%d,%d) outside %dx%d grid", p[0], p[1], w, h)
+		}
+		live[p] = true
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			state := int64(0)
+			if live[[2]int{x, y}] {
+				state = 1
+			}
+			if _, err := ins.Insert("cell", map[string]wm.Value{
+				"x": wm.Int(int64(x)), "y": wm.Int(int64(y)), "alive": wm.Int(state),
+			}); err != nil {
+				return err
+			}
+			i := int64(0)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					i++
+					if _, err := ins.Insert("adj", map[string]wm.Value{
+						"x": wm.Int(int64(x)), "y": wm.Int(int64(y)), "i": wm.Int(i),
+						"nx": wm.Int(int64((x + dx + w) % w)),
+						"ny": wm.Int(int64((y + dy + h) % h)),
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if _, err := ins.Insert("phase", map[string]wm.Value{"p": wm.Sym("compute")}); err != nil {
+		return err
+	}
+	if _, err := ins.Insert("gen", map[string]wm.Value{"left": wm.Int(int64(generations))}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LifeRandom returns a random initial pattern of the given density.
+func LifeRandom(w, h int, density float64, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if rng.Float64() < density {
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// LifeGlider returns the standard glider with its top-left at (x, y).
+func LifeGlider(x, y int) [][2]int {
+	return [][2]int{{x + 1, y}, {x + 2, y + 1}, {x, y + 2}, {x + 1, y + 2}, {x + 2, y + 2}}
+}
+
+// LifeBlinker returns a horizontal blinker centred at (x, y).
+func LifeBlinker(x, y int) [][2]int {
+	return [][2]int{{x - 1, y}, {x, y}, {x + 1, y}}
+}
+
+// LifeReference simulates the same toroidal rules in plain Go for the
+// differential tests: it returns the live set after the given number of
+// generations.
+func LifeReference(w, h int, alive [][2]int, generations int) map[[2]int]bool {
+	cur := make(map[[2]int]bool, len(alive))
+	for _, p := range alive {
+		cur[p] = true
+	}
+	for g := 0; g < generations; g++ {
+		next := make(map[[2]int]bool)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				n := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						if cur[[2]int{(x + dx + w) % w, (y + dy + h) % h}] {
+							n++
+						}
+					}
+				}
+				if n == 3 || (n == 2 && cur[[2]int{x, y}]) {
+					next[[2]int{x, y}] = true
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// LifeBoard extracts the live set from an engine's working memory.
+func LifeBoard(facts []*wm.WME) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for _, c := range facts {
+		if c.Fields[2] == wm.Int(1) {
+			out[[2]int{int(c.Fields[0].I), int(c.Fields[1].I)}] = true
+		}
+	}
+	return out
+}
