@@ -5,6 +5,8 @@
 //	parbench               run all experiments at full size
 //	parbench -exp e2,e5    run selected experiments
 //	parbench -quick        small sizes (seconds, for smoke tests)
+//	parbench -json         machine-readable suite run → BENCH_results.json
+//	parbench -json -out f  …written to f instead ("-" for stdout)
 package main
 
 import (
@@ -19,7 +21,35 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
+	out := flag.String("out", "BENCH_results.json", "output path for -json (\"-\" for stdout)")
 	flag.Parse()
+
+	if *jsonOut {
+		doc, err := bench.RunJSON(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := bench.WriteJSON(w, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *out != "-" {
+			fmt.Fprintf(os.Stderr, "parbench: wrote %d results to %s\n", len(doc.Results), *out)
+		}
+		return
+	}
 
 	ids := bench.Order
 	if *exp != "all" {

@@ -1,0 +1,86 @@
+// Command paruleld serves PARULEL programs over HTTP/JSON: long-lived
+// rule sessions with fact assertion, deadline-bounded runs to quiescence,
+// working-memory queries, snapshot export/import, and engine metrics.
+//
+//	paruleld                      serve on :8467 with defaults
+//	paruleld -addr :9000          pick the listen address
+//	paruleld -max-sessions 256    widen the session pool
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// runs (bounded by -drain-timeout), and exits. See docs/SERVER.md for the
+// API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parulel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8467", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "session pool size (LRU eviction beyond it)")
+	idleTTL := flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle for this long")
+	maxRuns := flag.Int("max-runs", 8, "engines running concurrently server-wide")
+	runTimeout := flag.Duration("run-timeout", 30*time.Second, "default per-run deadline")
+	maxRunTimeout := flag.Duration("max-run-timeout", 5*time.Minute, "cap on client-requested run deadlines")
+	workers := flag.Int("workers", 4, "default match/fire workers per session engine")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs")
+	quiet := flag.Bool("quiet", false, "suppress per-event logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "paruleld: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxSessions:       *maxSessions,
+		IdleTTL:           *idleTTL,
+		MaxConcurrentRuns: *maxRuns,
+		DefaultRunTimeout: *runTimeout,
+		MaxRunTimeout:     *maxRunTimeout,
+		DefaultWorkers:    *workers,
+	}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	srv := server.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving on %s (sessions=%d, concurrent runs=%d)", *addr, *maxSessions, *maxRuns)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown stops the listener and waits for in-flight HTTP requests;
+	// srv.Close additionally waits for engine runs and stops the janitor.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"parulel/internal/core"
+	"parulel/internal/match"
+	"parulel/internal/match/rete"
+	"parulel/internal/match/treat"
+	"parulel/internal/programs"
+)
+
+// Machine-readable benchmark output (`parbench -json`): one BENCH_*.json
+// document per invocation, so the performance trajectory across PRs can be
+// tracked by diffing documents instead of scraping tables.
+
+// JSONResult is one (workload, configuration) measurement.
+type JSONResult struct {
+	Workload         string  `json:"workload"`
+	Engine           string  `json:"engine"`
+	Matcher          string  `json:"matcher"`
+	Workers          int     `json:"workers"`
+	WallNS           int64   `json:"wall_ns"` // fastest of the repetitions
+	Cycles           int     `json:"cycles"`
+	Firings          int     `json:"firings"`
+	Redactions       int     `json:"redactions"`
+	WriteConflicts   int     `json:"write_conflicts"`
+	WMSize           int     `json:"wm_size"`
+	MatchNS          int64   `json:"match_ns"`
+	RedactNS         int64   `json:"redact_ns"`
+	FireNS           int64   `json:"fire_ns"`
+	ApplyNS          int64   `json:"apply_ns"`
+	PotentialSpeedup float64 `json:"potential_speedup"` // sum/max of worker match time
+}
+
+// JSONDoc is the whole document.
+type JSONDoc struct {
+	Schema      string       `json:"schema"` // "parulel-bench/v1"
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	NumCPU      int          `json:"num_cpu"`
+	Quick       bool         `json:"quick"`
+	Results     []JSONResult `json:"results"`
+}
+
+// jsonConfigs are the engine configurations measured per workload: the
+// worker-scaling axis on RETE plus a TREAT point, mirroring E2/E4.
+var jsonConfigs = []struct {
+	matcher string
+	factory match.Factory
+	workers int
+}{
+	{"rete", rete.New, 1},
+	{"rete", rete.New, 2},
+	{"rete", rete.New, 4},
+	{"treat", treat.New, 4},
+}
+
+// RunJSON measures the standard workload suite and returns the document.
+func RunJSON(quick bool) (*JSONDoc, error) {
+	doc := &JSONDoc{
+		Schema:      "parulel-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+	}
+	for _, spec := range suite(quick) {
+		for _, cfg := range jsonConfigs {
+			var last *core.Engine
+			var lastRes core.Result
+			wall, err := minTime(reps(quick), func() (func() error, error) {
+				prog, err := programs.Load(spec.prog)
+				if err != nil {
+					return nil, err
+				}
+				e := core.New(prog, core.Options{
+					Workers:   cfg.workers,
+					Matcher:   cfg.factory,
+					MaxCycles: 1 << 20,
+				})
+				if err := spec.load(e); err != nil {
+					return nil, err
+				}
+				last = e
+				return func() error {
+					res, err := e.Run()
+					lastRes = res
+					return err
+				}, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s [%s w=%d]: %w", spec.name, cfg.matcher, cfg.workers, err)
+			}
+			m, r, f, a := lastRes.Stats.Totals()
+			matchWork, _ := last.WorkerWork()
+			var sum, max time.Duration
+			for _, d := range matchWork {
+				sum += d
+				if d > max {
+					max = d
+				}
+			}
+			speedup := 1.0
+			if max > 0 {
+				speedup = float64(sum) / float64(max)
+			}
+			doc.Results = append(doc.Results, JSONResult{
+				Workload:         spec.name,
+				Engine:           "parulel",
+				Matcher:          cfg.matcher,
+				Workers:          cfg.workers,
+				WallNS:           wall.Nanoseconds(),
+				Cycles:           lastRes.Cycles,
+				Firings:          lastRes.Firings,
+				Redactions:       lastRes.Redactions,
+				WriteConflicts:   lastRes.WriteConflicts,
+				WMSize:           last.Memory().Len(),
+				MatchNS:          m.Nanoseconds(),
+				RedactNS:         r.Nanoseconds(),
+				FireNS:           f.Nanoseconds(),
+				ApplyNS:          a.Nanoseconds(),
+				PotentialSpeedup: speedup,
+			})
+		}
+	}
+	return doc, nil
+}
+
+// WriteJSON renders the document, indented for diff-friendliness.
+func WriteJSON(w io.Writer, doc *JSONDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

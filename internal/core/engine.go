@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -140,6 +141,12 @@ type Result struct {
 // ErrMaxCycles is returned when Options.MaxCycles is exceeded.
 var ErrMaxCycles = errors.New("core: maximum cycle count exceeded")
 
+// ErrCanceled is returned by RunContext when its context ends before the
+// run reaches quiescence. The returned error also wraps the context's own
+// error, so errors.Is works against context.Canceled and
+// context.DeadlineExceeded as well.
+var ErrCanceled = errors.New("core: run canceled")
+
 // Engine executes a compiled PARULEL program.
 type Engine struct {
 	prog    *compile.Program
@@ -239,9 +246,38 @@ func (e *Engine) InsertFields(t *wm.Template, fields []wm.Value) *wm.WME {
 	return w
 }
 
+// Retract removes the live WME with the given time tag between runs and
+// queues the removal for the matchers. A WME whose insertion is still
+// pending (the matchers have not seen it yet) is simply dropped from the
+// pending delta. It returns false when no live WME has that tag.
+func (e *Engine) Retract(timeTag int64) bool {
+	for i, w := range e.pending.Added {
+		if w.Time == timeTag {
+			e.pending.Added = append(e.pending.Added[:i], e.pending.Added[i+1:]...)
+			e.mem.Remove(timeTag)
+			return true
+		}
+	}
+	if w, ok := e.mem.Remove(timeTag); ok {
+		e.pending.Removed = append(e.pending.Removed, w)
+		return true
+	}
+	return false
+}
+
 // Run executes cycles until quiescence, halt, or the cycle limit.
-func (e *Engine) Run() (Result, error) {
+func (e *Engine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext executes cycles until quiescence, halt, the cycle limit, or
+// context cancellation. Cancellation is observed at cycle boundaries only:
+// every cycle either commits fully or does not run, so a canceled engine's
+// working memory is always in a consistent committed state and the run can
+// be resumed with a fresh context.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return e.result, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		progress, err := e.Step()
 		if err != nil {
 			return e.result, err

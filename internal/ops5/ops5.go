@@ -13,6 +13,7 @@ package ops5
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -64,6 +65,10 @@ type Result struct {
 
 // ErrMaxCycles is returned when Options.MaxCycles is exceeded.
 var ErrMaxCycles = errors.New("ops5: maximum cycle count exceeded")
+
+// ErrCanceled is returned by RunContext when its context ends before the
+// run reaches quiescence; it also wraps the context's own error.
+var ErrCanceled = errors.New("ops5: run canceled")
 
 // Engine is the sequential baseline interpreter.
 type Engine struct {
@@ -124,8 +129,15 @@ func (e *Engine) InsertFields(t *wm.Template, fields []wm.Value) *wm.WME {
 }
 
 // Run executes recognize–act cycles to quiescence, halt, or the limit.
-func (e *Engine) Run() (Result, error) {
+func (e *Engine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation, observed at cycle boundaries so
+// working memory is always left in a consistent committed state.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return e.result, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		progress, err := e.Step()
 		if err != nil {
 			return e.result, err

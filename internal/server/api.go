@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"parulel/internal/wm"
+)
+
+// This file defines the HTTP/JSON wire types and the mapping between JSON
+// values and rule-language values (wm.Value).
+//
+// Encoding rules (documented in docs/SERVER.md):
+//
+//	nil    ↔ null
+//	int    ↔ JSON number without fraction or exponent
+//	float  ↔ JSON number with fraction or exponent (integral floats are
+//	         rendered with a trailing ".0" so they survive a round trip)
+//	symbol ↔ JSON string
+//	string ↔ {"str": "..."} (strings are rarer than symbols in PARULEL)
+//
+// On input the explicit object forms {"int": n}, {"float": x},
+// {"sym": "..."} and {"str": "..."} are also accepted, and JSON booleans
+// map to the symbols true/false (wm.Bool).
+
+// jsonValue wraps a wm.Value with the wire encoding above.
+type jsonValue struct{ V wm.Value }
+
+// MarshalJSON implements the encoding side.
+func (j jsonValue) MarshalJSON() ([]byte, error) {
+	v := j.V
+	switch v.Kind {
+	case wm.KindNil:
+		return []byte("null"), nil
+	case wm.KindInt:
+		return strconv.AppendInt(nil, v.I, 10), nil
+	case wm.KindFloat:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			// Non-finite floats have no JSON literal; null is the least bad.
+			return []byte("null"), nil
+		}
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return []byte(s), nil
+	case wm.KindSym:
+		return json.Marshal(v.S)
+	case wm.KindStr:
+		return json.Marshal(map[string]string{"str": v.S})
+	}
+	return nil, fmt.Errorf("unencodable value kind %v", v.Kind)
+}
+
+// UnmarshalJSON implements the decoding side.
+func (j *jsonValue) UnmarshalJSON(b []byte) error {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 {
+		return fmt.Errorf("empty value")
+	}
+	switch b[0] {
+	case 'n':
+		j.V = wm.Nil()
+		return nil
+	case 't', 'f':
+		var v bool
+		if err := json.Unmarshal(b, &v); err != nil {
+			return err
+		}
+		j.V = wm.Bool(v)
+		return nil
+	case '"':
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		j.V = wm.Sym(s)
+		return nil
+	case '{':
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(b, &m); err != nil {
+			return err
+		}
+		if len(m) != 1 {
+			return fmt.Errorf("typed value must have exactly one of int/float/sym/str")
+		}
+		for k, raw := range m {
+			switch k {
+			case "int":
+				var n int64
+				if err := json.Unmarshal(raw, &n); err != nil {
+					return err
+				}
+				j.V = wm.Int(n)
+			case "float":
+				var f float64
+				if err := json.Unmarshal(raw, &f); err != nil {
+					return err
+				}
+				j.V = wm.Float(f)
+			case "sym":
+				var s string
+				if err := json.Unmarshal(raw, &s); err != nil {
+					return err
+				}
+				j.V = wm.Sym(s)
+			case "str":
+				var s string
+				if err := json.Unmarshal(raw, &s); err != nil {
+					return err
+				}
+				j.V = wm.Str(s)
+			default:
+				return fmt.Errorf("unknown typed value key %q", k)
+			}
+		}
+		return nil
+	default: // number
+		s := string(b)
+		if strings.ContainsAny(s, ".eE") {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("bad number %q: %w", s, err)
+			}
+			j.V = wm.Float(f)
+			return nil
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad integer %q: %w", s, err)
+		}
+		j.V = wm.Int(n)
+		return nil
+	}
+}
+
+// toFields converts wire fields to the engine's map form.
+func toFields(in map[string]jsonValue) map[string]wm.Value {
+	out := make(map[string]wm.Value, len(in))
+	for k, v := range in {
+		out[k] = v.V
+	}
+	return out
+}
+
+// factPayload is one working-memory element on the wire.
+type factPayload struct {
+	Template string               `json:"template"`
+	Time     int64                `json:"time,omitempty"`
+	Fields   map[string]jsonValue `json:"fields"`
+}
+
+// encodeFact renders a live WME, eliding nil attributes like the
+// snapshot format does.
+func encodeFact(w *wm.WME) factPayload {
+	f := factPayload{Template: w.Tmpl.Name, Time: w.Time, Fields: map[string]jsonValue{}}
+	for i, attr := range w.Tmpl.Attrs {
+		if !w.Fields[i].IsNil() {
+			f.Fields[attr] = jsonValue{w.Fields[i]}
+		}
+	}
+	return f
+}
+
+// createSessionRequest creates a session from an embedded program name or
+// uploaded PARULEL source (exactly one of Program/Source).
+type createSessionRequest struct {
+	Program string `json:"program,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Matcher string `json:"matcher,omitempty"` // rete (default) or treat
+	// MaxCycles caps the session's cumulative cycle count as a runaway
+	// guard; 0 uses the server default.
+	MaxCycles int `json:"max_cycles,omitempty"`
+}
+
+// sessionInfo describes a session in list/get/create responses.
+type sessionInfo struct {
+	ID         string `json:"id"`
+	Program    string `json:"program"`
+	Workers    int    `json:"workers"`
+	Matcher    string `json:"matcher"`
+	CreatedAt  string `json:"created_at"`
+	LastUsedAt string `json:"last_used_at"`
+	WMSize     int    `json:"wm_size"`
+	Runs       int    `json:"runs"`
+	Cycles     int    `json:"cycles"`
+	Firings    int    `json:"firings"`
+	Redactions int    `json:"redactions"`
+	Busy       bool   `json:"busy"`
+}
+
+// assertRequest inserts facts into a session's working memory.
+type assertRequest struct {
+	Facts []factPayload `json:"facts"`
+}
+
+// retractRequest removes every live WME of Template whose fields equal
+// all the given field values (strict equality per attribute).
+type retractRequest struct {
+	Template string               `json:"template"`
+	Fields   map[string]jsonValue `json:"fields,omitempty"`
+}
+
+// runRequest runs a session to quiescence under a deadline.
+type runRequest struct {
+	// TimeoutMS bounds the run; 0 uses the server default. Exceeding it
+	// returns HTTP 504 and leaves the session usable at the last committed
+	// cycle.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// runResponse reports one run's outcome. Counters are per-run deltas, not
+// session-cumulative ones (those live in sessionInfo).
+type runResponse struct {
+	Cycles         int    `json:"cycles"`
+	Firings        int    `json:"firings"`
+	Redactions     int    `json:"redactions"`
+	WriteConflicts int    `json:"write_conflicts"`
+	Halted         bool   `json:"halted"`
+	Quiescent      bool   `json:"quiescent"`
+	WallMS         int64  `json:"wall_ms"`
+	WMSize         int    `json:"wm_size"`
+	Output         string `json:"output,omitempty"`
+	OutputTrunc    bool   `json:"output_truncated,omitempty"`
+}
+
+// countResponse is the generic mutation reply.
+type countResponse struct {
+	Count  int `json:"count"`
+	WMSize int `json:"wm_size"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

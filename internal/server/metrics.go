@@ -1,0 +1,162 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"parulel/internal/stats"
+)
+
+// collector aggregates engine cycle records and server counters across
+// every session, live or evicted. Percentiles are computed over a bounded
+// sliding window of the newest cycle records (metricsWindow); totals and
+// histograms cover the server's whole lifetime.
+type collector struct {
+	mu sync.Mutex
+
+	// Lifetime totals.
+	cycles      uint64
+	fired       uint64
+	redacted    uint64
+	maxConflict int
+	phaseTotals [4]time.Duration // match, redact, fire, apply
+	hists       [4]*stats.Hist
+
+	// Sliding window for percentiles.
+	window    stats.Run
+	windowCap int
+
+	// Run/session counters.
+	runsStarted, runsCompleted, runTimeouts, runsCanceled, runErrors   uint64
+	sessionsCreated, sessionsEvicted, sessionsExpired, sessionsDeleted uint64
+}
+
+// metricsWindow is the default number of cycle records retained for
+// percentile computation (~a few MB at most).
+const metricsWindow = 65536
+
+var phaseNames = [4]string{"match", "redact", "fire", "apply"}
+
+func newCollector() *collector {
+	c := &collector{windowCap: metricsWindow}
+	for i := range c.hists {
+		c.hists[i] = stats.NewHist()
+	}
+	return c
+}
+
+// observe folds freshly produced cycle records into the aggregate.
+func (c *collector) observe(cycles []stats.Cycle) {
+	if len(cycles) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cyc := range cycles {
+		c.cycles++
+		c.fired += uint64(cyc.Fired)
+		c.redacted += uint64(cyc.Redacted)
+		if cyc.ConflictSize > c.maxConflict {
+			c.maxConflict = cyc.ConflictSize
+		}
+		for i, d := range [4]time.Duration{cyc.Match, cyc.Redact, cyc.Fire, cyc.Apply} {
+			c.phaseTotals[i] += d
+			c.hists[i].Observe(d)
+		}
+	}
+	c.window.Cycles = append(c.window.Cycles, cycles...)
+	c.window.Truncate(c.windowCap)
+}
+
+// counter bumps (each takes the lock; contention is negligible next to a
+// rule-engine run).
+func (c *collector) runStarted()     { c.bump(&c.runsStarted) }
+func (c *collector) runCompleted()   { c.bump(&c.runsCompleted) }
+func (c *collector) runTimeout()     { c.bump(&c.runTimeouts) }
+func (c *collector) runCanceled()    { c.bump(&c.runsCanceled) }
+func (c *collector) runError()       { c.bump(&c.runErrors) }
+func (c *collector) sessionCreated() { c.bump(&c.sessionsCreated) }
+func (c *collector) sessionEvicted() { c.bump(&c.sessionsEvicted) }
+func (c *collector) sessionExpired() { c.bump(&c.sessionsExpired) }
+func (c *collector) sessionDeleted() { c.bump(&c.sessionsDeleted) }
+
+func (c *collector) bump(f *uint64) {
+	c.mu.Lock()
+	*f++
+	c.mu.Unlock()
+}
+
+// phasePayload is one phase's slice of the /metrics document.
+type phasePayload struct {
+	TotalNS   int64    `json:"total_ns"`
+	HistCount uint64   `json:"hist_count"`
+	Hist      []uint64 `json:"hist"`
+}
+
+// metricsPayload is the /metrics response body.
+type metricsPayload struct {
+	UptimeMS int64 `json:"uptime_ms"`
+	Sessions struct {
+		Live    int    `json:"live"`
+		Created uint64 `json:"created"`
+		Evicted uint64 `json:"evicted"`
+		Expired uint64 `json:"expired"`
+		Deleted uint64 `json:"deleted"`
+	} `json:"sessions"`
+	Runs struct {
+		Started   uint64 `json:"started"`
+		Completed uint64 `json:"completed"`
+		Timeouts  uint64 `json:"timeouts"`
+		Canceled  uint64 `json:"canceled"`
+		Errors    uint64 `json:"errors"`
+		Active    int    `json:"active"`
+	} `json:"runs"`
+	Engine struct {
+		Cycles          uint64                  `json:"cycles"`
+		Fired           uint64                  `json:"fired"`
+		Redacted        uint64                  `json:"redacted"`
+		MaxConflictSize int                     `json:"max_conflict_size"`
+		HistBoundsNS    []int64                 `json:"hist_bounds_ns"`
+		Phases          map[string]phasePayload `json:"phases"`
+		// Window holds percentiles over the newest cycle records.
+		Window stats.Summary `json:"window"`
+	} `json:"engine"`
+}
+
+// snapshot renders the aggregate. live and active are sampled by the
+// caller under the server mutex.
+func (c *collector) snapshot(uptime time.Duration, live, active int) metricsPayload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var p metricsPayload
+	p.UptimeMS = uptime.Milliseconds()
+	p.Sessions.Live = live
+	p.Sessions.Created = c.sessionsCreated
+	p.Sessions.Evicted = c.sessionsEvicted
+	p.Sessions.Expired = c.sessionsExpired
+	p.Sessions.Deleted = c.sessionsDeleted
+	p.Runs.Started = c.runsStarted
+	p.Runs.Completed = c.runsCompleted
+	p.Runs.Timeouts = c.runTimeouts
+	p.Runs.Canceled = c.runsCanceled
+	p.Runs.Errors = c.runErrors
+	p.Runs.Active = active
+	p.Engine.Cycles = c.cycles
+	p.Engine.Fired = c.fired
+	p.Engine.Redacted = c.redacted
+	p.Engine.MaxConflictSize = c.maxConflict
+	p.Engine.HistBoundsNS = make([]int64, len(stats.HistBounds))
+	for i, b := range stats.HistBounds {
+		p.Engine.HistBoundsNS[i] = b.Nanoseconds()
+	}
+	p.Engine.Phases = make(map[string]phasePayload, 4)
+	for i, name := range phaseNames {
+		p.Engine.Phases[name] = phasePayload{
+			TotalNS:   c.phaseTotals[i].Nanoseconds(),
+			HistCount: c.hists[i].Total(),
+			Hist:      append([]uint64(nil), c.hists[i].Counts...),
+		}
+	}
+	p.Engine.Window = c.window.Summarize()
+	return p
+}

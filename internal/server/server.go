@@ -1,0 +1,660 @@
+// Package server implements paruleld, the PARULEL rule-serving daemon:
+// an HTTP/JSON front end that hosts compiled programs as long-lived
+// *sessions*. Clients create a session from an embedded example program or
+// uploaded source, assert and retract facts, run the engine to quiescence
+// under a per-request deadline, query working memory, and export/import
+// `(wm …)` snapshots that round-trip through cmd/parulel.
+//
+// Operationally the server provides what the PARULEL/PARADISER papers
+// assume of their environment: a bounded pool of concurrently served rule
+// sessions (LRU eviction + idle expiry), per-session serialization with a
+// server-wide cap on simultaneously running engines, cancellation threaded
+// into the engine's cycle loop, a /metrics aggregate over the engines'
+// per-cycle phase records, and graceful drain on shutdown.
+//
+// See docs/SERVER.md for the API reference.
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/programs"
+	"parulel/internal/snapshot"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxSessions bounds the session pool; creating one more evicts the
+	// least-recently-used session. Default 64.
+	MaxSessions int
+	// IdleTTL expires sessions unused for this long. Default 30m.
+	IdleTTL time.Duration
+	// SweepInterval is the expiry check period. Default IdleTTL/4,
+	// clamped to [100ms, 1m].
+	SweepInterval time.Duration
+	// MaxConcurrentRuns caps engines running simultaneously server-wide;
+	// excess run requests wait for a slot (bounded by their deadline).
+	// Default 8.
+	MaxConcurrentRuns int
+	// DefaultRunTimeout applies when a run request names none. Default 30s.
+	DefaultRunTimeout time.Duration
+	// MaxRunTimeout clamps client-requested timeouts. Default 5m.
+	MaxRunTimeout time.Duration
+	// MaxCycles is the default cumulative cycle cap per session (runaway
+	// guard). Default 10,000,000.
+	MaxCycles int
+	// DefaultWorkers is the per-engine worker count when the client names
+	// none. Default 4; clamped to [1, 64].
+	DefaultWorkers int
+	// MaxBodyBytes bounds request bodies. Default 4 MiB.
+	MaxBodyBytes int64
+	// MaxOutputBytes bounds captured `(write …)` output per run. Default 64 KiB.
+	MaxOutputBytes int
+	// Log receives one line per notable event; nil means discard.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 30 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.IdleTTL / 4
+		if c.SweepInterval < 100*time.Millisecond {
+			c.SweepInterval = 100 * time.Millisecond
+		}
+		if c.SweepInterval > time.Minute {
+			c.SweepInterval = time.Minute
+		}
+	}
+	if c.MaxConcurrentRuns <= 0 {
+		c.MaxConcurrentRuns = 8
+	}
+	if c.DefaultRunTimeout <= 0 {
+		c.DefaultRunTimeout = 30 * time.Second
+	}
+	if c.MaxRunTimeout <= 0 {
+		c.MaxRunTimeout = 5 * time.Minute
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 10_000_000
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 64 << 10
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the paruleld HTTP handler plus its session pool.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	runSem  chan struct{}
+	metrics *collector
+	start   time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	lru      *list.List // front = most recently used; values are *session
+	nextID   uint64
+	draining bool
+	active   int           // runs currently executing (or waiting on runSem)
+	idle     chan struct{} // closed when draining && active == 0
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds a server and starts its expiry janitor. Call Close to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		runSem:      make(chan struct{}, cfg.MaxConcurrentRuns),
+		metrics:     newCollector(),
+		start:       time.Now(),
+		sessions:    make(map[string]*session),
+		lru:         list.New(),
+		idle:        make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.routes()
+	go s.janitor()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/v1/programs", s.handlePrograms)
+	s.mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/facts", s.handleAssert)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.handleRetract)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.handleRun)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.handleWM)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.handleSnapshotExport)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.handleSnapshotImport)
+}
+
+// Close drains the server: new runs are rejected, in-flight runs finish
+// (or ctx expires), and the janitor stops. Safe to call once.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.janitorStop)
+		if s.active == 0 {
+			close(s.idle)
+		}
+	}
+	s.mu.Unlock()
+	<-s.janitorDone
+	select {
+	case <-s.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with runs in flight: %w", ctx.Err())
+	}
+}
+
+// janitor periodically expires idle sessions.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.sweep(time.Now())
+		}
+	}
+}
+
+// sweep evicts sessions idle past the TTL. Busy sessions are skipped —
+// their lastUsed is refreshed when the request finishes looking them up,
+// and a run in flight must not lose its session.
+func (s *Server) sweep(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for e := s.lru.Back(); e != nil; {
+		prev := e.Prev()
+		sess := e.Value.(*session)
+		if now.Sub(sess.lastUsed) < s.cfg.IdleTTL {
+			break // LRU order: everything further forward is younger
+		}
+		if !sess.busy() {
+			s.evictLocked(sess)
+			s.metrics.sessionExpired()
+			s.cfg.Log.Printf("session %s expired (idle %v)", sess.id, now.Sub(sess.lastUsed).Round(time.Millisecond))
+		}
+		e = prev
+	}
+}
+
+// evictLocked removes a session from the pool. Caller holds s.mu.
+func (s *Server) evictLocked(sess *session) {
+	sess.closed.Store(true)
+	delete(s.sessions, sess.id)
+	s.lru.Remove(sess.elem)
+	sess.elem = nil
+}
+
+// lookup finds a session and marks it used. A nil return means the
+// response has been written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.lastUsed = time.Now()
+		s.lru.MoveToFront(sess.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return nil
+	}
+	return sess
+}
+
+// withSession acquires the session slot under the request context and runs
+// fn while holding it.
+func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(sess *session)) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	if err := sess.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "session busy: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed.Load() {
+		writeError(w, http.StatusGone, "session was evicted")
+		return
+	}
+	fn(sess)
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"programs": programs.All()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	live, active := len(s.sessions), s.active
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start), live, active))
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var (
+		prog *compile.Program
+		name string
+		err  error
+	)
+	switch {
+	case req.Program != "" && req.Source != "":
+		writeError(w, http.StatusBadRequest, "give either program or source, not both")
+		return
+	case req.Program != "":
+		name = req.Program
+		prog, err = programs.Load(req.Program)
+	case req.Source != "":
+		name = "uploaded"
+		prog, err = compile.CompileSource(req.Source)
+	default:
+		writeError(w, http.StatusBadRequest, "one of program or source is required")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	if workers > 64 {
+		workers = 64
+	}
+	maxCycles := req.MaxCycles
+	if maxCycles <= 0 || maxCycles > s.cfg.MaxCycles {
+		maxCycles = s.cfg.MaxCycles
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 10)
+	s.mu.Unlock()
+
+	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	// Make room: evict LRU sessions, preferring idle ones; a pool full of
+	// busy sessions rejects the create rather than killing a running one.
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		victim := (*session)(nil)
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			if cand := e.Value.(*session); !cand.busy() {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "session pool full and all sessions busy")
+			return
+		}
+		s.evictLocked(victim)
+		s.metrics.sessionEvicted()
+		s.cfg.Log.Printf("session %s evicted (pool full)", victim.id)
+	}
+	sess.elem = s.lru.PushFront(sess)
+	s.sessions[id] = sess
+	info := sess.info(sess.lastUsed)
+	s.mu.Unlock()
+
+	s.metrics.sessionCreated()
+	s.cfg.Log.Printf("session %s created (program=%s workers=%d matcher=%s)", id, name, workers, sess.matcher)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	infos := make([]sessionInfo, 0, len(s.sessions))
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		sess := e.Value.(*session)
+		infos = append(infos, sess.info(sess.lastUsed))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	s.mu.Lock()
+	last := sess.lastUsed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, sess.info(last))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		s.evictLocked(sess)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return
+	}
+	s.metrics.sessionDeleted()
+	s.cfg.Log.Printf("session %s deleted", id)
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req assertRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.withSession(w, r, func(sess *session) {
+		n := 0
+		for _, f := range req.Facts {
+			if _, err := sess.eng.Insert(f.Template, toFields(f.Fields)); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
+				return
+			}
+			n++
+		}
+		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
+	})
+}
+
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
+	var req retractRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Template == "" {
+		writeError(w, http.StatusBadRequest, "template is required")
+		return
+	}
+	s.withSession(w, r, func(sess *session) {
+		n, err := sess.retractMatching(req.Template, toFields(req.Fields))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	timeout := s.cfg.DefaultRunTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxRunTimeout {
+		timeout = s.cfg.MaxRunTimeout
+	}
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+
+	// Register as an active run (for graceful drain) unless draining.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.active++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		if s.draining && s.active == 0 {
+			close(s.idle)
+		}
+		s.mu.Unlock()
+	}()
+	s.metrics.runStarted()
+
+	// The deadline covers queueing (engine slot + session slot) and the
+	// run itself, so a stuck queue cannot hold the request forever.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Server-wide concurrency limit: wait for an engine slot.
+	select {
+	case s.runSem <- struct{}{}:
+		defer func() { <-s.runSem }()
+	case <-ctx.Done():
+		s.metrics.runTimeout()
+		writeError(w, http.StatusGatewayTimeout, "timed out waiting for an engine slot")
+		return
+	}
+
+	// Per-session serialization.
+	if err := sess.acquire(ctx); err != nil {
+		s.metrics.runTimeout()
+		writeError(w, http.StatusGatewayTimeout, "timed out waiting for the session: "+err.Error())
+		return
+	}
+	defer sess.release()
+	if sess.closed.Load() {
+		writeError(w, http.StatusGone, "session was evicted")
+		return
+	}
+
+	func(sess *session) {
+		before := sess.lastResult
+		prevStats := 0
+		if before.Stats != nil {
+			prevStats = len(before.Stats.Cycles)
+		}
+		sess.out.take() // reset output buffer
+		t0 := time.Now()
+		res, err := sess.eng.RunContext(ctx)
+		wall := time.Since(t0)
+		sess.lastResult = res
+		sess.runs++
+
+		// Fold the new cycle records into /metrics regardless of outcome.
+		if res.Stats != nil && len(res.Stats.Cycles) > prevStats {
+			s.metrics.observe(res.Stats.Cycles[prevStats:])
+			sess.statCycles = len(res.Stats.Cycles)
+		}
+
+		output, trunc := sess.out.take()
+		resp := runResponse{
+			Cycles:         res.Cycles - before.Cycles,
+			Firings:        res.Firings - before.Firings,
+			Redactions:     res.Redactions - before.Redactions,
+			WriteConflicts: res.WriteConflicts - before.WriteConflicts,
+			Halted:         res.Halted,
+			WallMS:         wall.Milliseconds(),
+			WMSize:         sess.eng.Memory().Len(),
+			Output:         output,
+			OutputTrunc:    trunc,
+		}
+		switch {
+		case err == nil:
+			resp.Quiescent = !res.Halted
+			s.metrics.runCompleted()
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, context.DeadlineExceeded):
+			sess.timeouts++
+			s.metrics.runTimeout()
+			s.cfg.Log.Printf("session %s run timed out after %v (%d cycles committed)", sess.id, timeout, resp.Cycles)
+			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+				"error":  fmt.Sprintf("run exceeded its %v deadline; %d cycles committed, session still usable", timeout, resp.Cycles),
+				"result": resp,
+			})
+		case errors.Is(err, context.Canceled):
+			// Client went away; record and reply best-effort.
+			s.metrics.runCanceled()
+			writeError(w, http.StatusServiceUnavailable, "run canceled: "+err.Error())
+		case errors.Is(err, core.ErrMaxCycles):
+			s.metrics.runError()
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error":  err.Error(),
+				"result": resp,
+			})
+		default:
+			s.metrics.runError()
+			writeError(w, http.StatusInternalServerError, "run failed: "+err.Error())
+		}
+	}(sess)
+}
+
+func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(sess *session) {
+		template := r.URL.Query().Get("template")
+		limit := 0
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad limit")
+				return
+			}
+			limit = n
+		}
+		mem := sess.eng.Memory()
+		wmes := mem.Snapshot()
+		if template != "" {
+			if _, ok := mem.Schema().Lookup(template); !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown template %q", template))
+				return
+			}
+			wmes = mem.OfTemplate(template)
+		}
+		total := len(wmes)
+		if limit > 0 && len(wmes) > limit {
+			wmes = wmes[:limit]
+		}
+		facts := make([]factPayload, len(wmes))
+		for i, el := range wmes {
+			facts[i] = encodeFact(el)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"total": total, "facts": facts})
+	})
+}
+
+func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(sess *session) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := snapshot.Write(w, sess.eng.Memory()); err != nil {
+			// Headers are gone; all we can do is log.
+			s.cfg.Log.Printf("session %s snapshot export failed: %v", sess.id, err)
+		}
+	})
+}
+
+func (s *Server) handleSnapshotImport(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(sess *session) {
+		n, err := snapshot.Read(r.Body, sess.eng)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
+	})
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// readJSON decodes a request body, tolerating an empty body (all request
+// types have usable zero values). Returns false after writing an error.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/match"
+	"parulel/internal/match/rete"
+	"parulel/internal/match/treat"
+	"parulel/internal/wm"
+)
+
+// session is one hosted engine instance. All engine access is serialized
+// through the slot channel (a context-aware mutex): the PARULEL engine
+// parallelizes *within* a cycle, but a session processes one request at a
+// time, like one PARADISER client transaction stream.
+type session struct {
+	id      string
+	program string
+	workers int
+	matcher string
+	eng     *core.Engine
+	out     *capWriter
+	created time.Time
+
+	// slot serializes engine use; closed marks an evicted/expired/deleted
+	// session (checked after acquiring slot, since a waiter may win the
+	// slot only after eviction).
+	slot   chan struct{}
+	closed atomic.Bool
+
+	// Guarded by Server.mu.
+	lastUsed time.Time
+	elem     *list.Element
+
+	// Guarded by slot (only the slot holder touches these).
+	runs       int
+	timeouts   int
+	lastResult core.Result
+	statCycles int // cycles already folded into the server metrics
+}
+
+// acquire takes the session's slot, waiting until the context ends.
+func (s *session) acquire(ctx context.Context) error {
+	select {
+	case s.slot <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquire takes the slot only if it is free.
+func (s *session) tryAcquire() bool {
+	select {
+	case s.slot <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *session) release() { <-s.slot }
+
+// busy reports whether some request currently holds the slot.
+func (s *session) busy() bool { return len(s.slot) > 0 }
+
+// info renders the session for list/get responses. lastUsed is passed in
+// because it is guarded by the server mutex, not the slot.
+func (s *session) info(lastUsed time.Time) sessionInfo {
+	res := s.lastResult
+	return sessionInfo{
+		ID:         s.id,
+		Program:    s.program,
+		Workers:    s.workers,
+		Matcher:    s.matcher,
+		CreatedAt:  s.created.UTC().Format(time.RFC3339Nano),
+		LastUsedAt: lastUsed.UTC().Format(time.RFC3339Nano),
+		WMSize:     s.eng.Memory().Len(),
+		Runs:       s.runs,
+		Cycles:     res.Cycles,
+		Firings:    res.Firings,
+		Redactions: res.Redactions,
+		Busy:       s.busy(),
+	}
+}
+
+// newSession compiles nothing — it wraps an already compiled program in a
+// fresh engine with a capped output buffer.
+func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap int, now time.Time) (*session, error) {
+	var factory match.Factory
+	switch matcherName {
+	case "", "rete":
+		matcherName, factory = "rete", rete.New
+	case "treat":
+		factory = treat.New
+	default:
+		return nil, fmt.Errorf("unknown matcher %q (want rete or treat)", matcherName)
+	}
+	out := &capWriter{limit: outputCap}
+	eng := core.New(prog, core.Options{
+		Workers:   workers,
+		Matcher:   factory,
+		Output:    out,
+		MaxCycles: maxCycles,
+	})
+	return &session{
+		id:       id,
+		program:  programName,
+		workers:  workers,
+		matcher:  matcherName,
+		eng:      eng,
+		out:      out,
+		created:  now,
+		lastUsed: now,
+		slot:     make(chan struct{}, 1),
+	}, nil
+}
+
+// retractMatching removes every live WME of the template whose fields
+// strictly equal all given values; attributes not listed are wildcards.
+// Caller holds the slot.
+func (s *session) retractMatching(template string, fields map[string]wm.Value) (int, error) {
+	tmpl, ok := s.eng.Memory().Schema().Lookup(template)
+	if !ok {
+		return 0, fmt.Errorf("unknown template %q", template)
+	}
+	type cond struct {
+		idx int
+		val wm.Value
+	}
+	conds := make([]cond, 0, len(fields))
+	for attr, v := range fields {
+		i, ok := tmpl.AttrIndex(attr)
+		if !ok {
+			return 0, fmt.Errorf("template %s has no attribute %q", template, attr)
+		}
+		conds = append(conds, cond{i, v})
+	}
+	n := 0
+	for _, w := range s.eng.Memory().OfTemplate(template) {
+		matchAll := true
+		for _, c := range conds {
+			if !w.Fields[c.idx].Equal(c.val) {
+				matchAll = false
+				break
+			}
+		}
+		if matchAll && s.eng.Retract(w.Time) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// capWriter buffers `(write …)` output up to a byte limit, recording
+// whether anything was dropped. The engine writes only while the slot
+// holder runs it, so no locking is needed.
+type capWriter struct {
+	buf       []byte
+	limit     int
+	truncated bool
+}
+
+func (w *capWriter) Write(p []byte) (int, error) {
+	if room := w.limit - len(w.buf); room > 0 {
+		if len(p) <= room {
+			w.buf = append(w.buf, p...)
+		} else {
+			w.buf = append(w.buf, p[:room]...)
+			w.truncated = true
+		}
+	} else if len(p) > 0 {
+		w.truncated = true
+	}
+	return len(p), nil
+}
+
+// take returns and resets the buffered output.
+func (w *capWriter) take() (string, bool) {
+	out, trunc := string(w.buf), w.truncated
+	w.buf, w.truncated = w.buf[:0], false
+	return out, trunc
+}

@@ -18,6 +18,8 @@
 package parulel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -274,22 +276,36 @@ func (e *Engine) Insert(template string, fields map[string]Value) (*WME, error) 
 }
 
 // Run executes to quiescence, halt, or the cycle limit.
-func (e *Engine) Run() (Result, error) {
+func (e *Engine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: when ctx ends before quiescence the
+// engine stops at the next cycle boundary, leaving working memory in a
+// consistent committed state, and returns an error for which IsCanceled
+// reports true (and which wraps ctx.Err()). The run may be resumed by
+// calling Run or RunContext again.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	if e.seq != nil {
-		res, err := e.seq.Run()
+		res, err := e.seq.RunContext(ctx)
 		m, r, f, a := res.Stats.Breakdown()
 		return Result{
 			Cycles: res.Cycles, Firings: res.Firings, Halted: res.Halted,
 			MatchPct: m, RedactPct: r, FirePct: f, ApplyPct: a,
 		}, err
 	}
-	res, err := e.par.Run()
+	res, err := e.par.RunContext(ctx)
 	m, r, f, a := res.Stats.Breakdown()
 	return Result{
 		Cycles: res.Cycles, Firings: res.Firings, Redactions: res.Redactions,
 		WriteConflicts: res.WriteConflicts, Halted: res.Halted,
 		MatchPct: m, RedactPct: r, FirePct: f, ApplyPct: a,
 	}, err
+}
+
+// IsCanceled reports whether err came from a RunContext whose context
+// ended before the run finished (as opposed to a rule-evaluation error or
+// the cycle limit).
+func IsCanceled(err error) bool {
+	return errors.Is(err, core.ErrCanceled) || errors.Is(err, ops5.ErrCanceled)
 }
 
 // RuleActivity returns per-rule conflict-set entry counts (PARULEL
