@@ -1,29 +1,67 @@
 // Command parbench regenerates the reconstructed evaluation: every table
-// and figure indexed in DESIGN.md §3 (E1–E6). See EXPERIMENTS.md for the
+// and figure indexed in DESIGN.md §3 (E1–E11). See EXPERIMENTS.md for the
 // recorded outputs and the paper-shape commentary.
 //
-//	parbench               run all experiments at full size
-//	parbench -exp e2,e5    run selected experiments
-//	parbench -quick        small sizes (seconds, for smoke tests)
-//	parbench -json         machine-readable suite run → BENCH_results.json
-//	parbench -json -out f  …written to f instead ("-" for stdout)
+//	parbench                  run all experiments at full size
+//	parbench -exp e2,e5       run selected experiments
+//	parbench -quick           small sizes (seconds, for smoke tests)
+//	parbench -json            machine-readable suite run → BENCH_results.json
+//	parbench -json -out f     …written to f instead ("-" for stdout)
+//	parbench -cpuprofile f    write a pprof CPU profile of the run to f
+//	parbench -memprofile f    write a pprof heap profile at exit to f
+//
+// See docs/PERF.md for the profiling workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"parulel/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e6) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
 	out := flag.String("out", "BENCH_results.json", "output path for -json (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *jsonOut {
 		doc, err := bench.RunJSON(*quick)
@@ -58,7 +96,7 @@ func main() {
 	for i, id := range ids {
 		run, ok := bench.Experiments[strings.TrimSpace(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e6)\n", id)
+			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e11)\n", id)
 			os.Exit(2)
 		}
 		if i > 0 {

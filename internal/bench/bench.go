@@ -38,10 +38,11 @@ var Experiments = map[string]func(w io.Writer, quick bool) error{
 	"e8":  E8,
 	"e9":  E9,
 	"e10": E10,
+	"e11": E11,
 }
 
 // Order lists experiment ids in presentation order.
-var Order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+var Order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 
 // loader populates an engine's working memory.
 type loader func(ins workload.Inserter) error
@@ -639,6 +640,77 @@ func E10(w io.Writer, quick bool) error {
 			label = "reordered"
 		}
 		fmt.Fprintf(tw, "%s\t%v\t%d\n", label, d.Round(time.Microsecond), beta)
+	}
+	return tw.Flush()
+}
+
+// E11 — Table 9 (ablation): the match layer's equality hash-join indexes
+// on/off, for both matchers. With the index, a join or negative node
+// probes only the alpha/beta bucket holding its equality-test value;
+// without it, every activation scans the whole opposite memory. The gap
+// tracks memory sizes, so it is widest on the join-heavy workloads
+// (waltz's edge propagation, circuit's wire fan-out under TREAT).
+func E11(w io.Writer, quick bool) error {
+	fmt.Fprintln(w, "E11 (Table 9, ablation) — match-layer hash-join index on/off")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmatcher\tindex\twall\tmatch-share\tspeedup")
+
+	cubes, cw, cd := 60, 16, 24
+	if quick {
+		cubes, cw, cd = 10, 8, 10
+	}
+	specs := []workloadSpec{
+		{fmt.Sprintf("waltz(%d)", cubes), programs.Waltz,
+			func(i workload.Inserter) error { return workload.WaltzScene(i, cubes) }},
+		{fmt.Sprintf("circuit(%dx%d)", cw, cd), programs.Circuit,
+			func(i workload.Inserter) error { return workload.GenCircuit(cw, cd, true, 1).Insert(i) }},
+	}
+	factories := []struct {
+		name string
+		mk   func(disable bool) match.Factory
+	}{
+		{"RETE", func(disable bool) match.Factory { return rete.Factory(rete.Options{DisableJoinIndex: disable}) }},
+		{"TREAT", func(disable bool) match.Factory { return treat.Factory(treat.Options{DisableJoinIndex: disable}) }},
+	}
+	for _, spec := range specs {
+		for _, f := range factories {
+			var off time.Duration
+			for _, disable := range []bool{true, false} {
+				prog, err := programs.Load(spec.prog)
+				if err != nil {
+					return err
+				}
+				var matchPct float64
+				d, err := minTime(reps(quick), func() (func() error, error) {
+					e := core.New(prog, core.Options{
+						Workers: 4, MaxCycles: 1 << 20,
+						Matcher: f.mk(disable),
+					})
+					if err := spec.load(e); err != nil {
+						return nil, err
+					}
+					return func() error {
+						res, err := e.Run()
+						if err == nil {
+							matchPct, _, _, _ = res.Stats.Breakdown()
+						}
+						return err
+					}, nil
+				})
+				if err != nil {
+					return err
+				}
+				label, speedup := "off", ""
+				if disable {
+					off = d
+				} else {
+					label = "on"
+					speedup = fmt.Sprintf("%.2fx", float64(off)/float64(d))
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%.1f%%\t%s\n",
+					spec.name, f.name, label, d.Round(time.Microsecond), matchPct, speedup)
+			}
+		}
 	}
 	return tw.Flush()
 }

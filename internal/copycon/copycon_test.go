@@ -153,11 +153,11 @@ func TestSplitPartitionsInstantiations(t *testing.T) {
 			}
 			origSet := make(map[string]bool)
 			for _, in := range origNet.ConflictSet() {
-				origSet[vecOf(in.Key())] = true
+				origSet[vecOf(in.KeyString())] = true
 			}
 			splitSet := make(map[string]bool)
 			for _, in := range splitNet.ConflictSet() {
-				v := vecOf(in.Key())
+				v := vecOf(in.KeyString())
 				if splitSet[v] {
 					t.Fatalf("k=%d seed=%d: vector %s matched by two variants (not disjoint)", k, seed, v)
 				}

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/match"
+	"parulel/internal/match/rete"
+	"parulel/internal/match/treat"
+	"parulel/internal/programs"
+	"parulel/internal/wm"
+	"parulel/internal/workload"
+)
+
+// matcherConfigs is the {RETE, TREAT} × {index on, index off} grid the
+// differential tests sweep. Results must be bit-identical across all
+// four: the hash-join indexes and the compact instantiation keys are
+// pure optimizations.
+var matcherConfigs = []struct {
+	name    string
+	factory match.Factory
+}{
+	{"rete-indexed", rete.Factory(rete.Options{})},
+	{"rete-noindex", rete.Factory(rete.Options{DisableJoinIndex: true})},
+	{"treat-indexed", treat.Factory(treat.Options{})},
+	{"treat-noindex", treat.Factory(treat.Options{DisableJoinIndex: true})},
+}
+
+// outcome is everything an engine run must agree on across matchers.
+type outcome struct {
+	cycles, firings, redactions, conflicts int
+	halted                                 bool
+	wm                                     []string
+}
+
+func runOutcome(t *testing.T, prog *compile.Program, load func(workload.Inserter) error, f match.Factory) outcome {
+	t.Helper()
+	e := core.New(prog, core.Options{Workers: 2, MaxCycles: 1 << 20, Matcher: f})
+	if err := load(e); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Memory().Snapshot()
+	facts := make([]string, len(snap))
+	for i, w := range snap {
+		facts[i] = w.String()
+	}
+	sort.Strings(facts)
+	return outcome{
+		cycles:     res.Cycles,
+		firings:    res.Firings,
+		redactions: res.Redactions,
+		conflicts:  res.WriteConflicts,
+		halted:     res.Halted,
+		wm:         facts,
+	}
+}
+
+func diffOutcomes(t *testing.T, name string, want, got outcome) {
+	t.Helper()
+	if want.cycles != got.cycles || want.firings != got.firings ||
+		want.redactions != got.redactions || want.conflicts != got.conflicts ||
+		want.halted != got.halted {
+		t.Fatalf("%s: result diverged: want {cycles %d firings %d redactions %d conflicts %d halted %v}, got {cycles %d firings %d redactions %d conflicts %d halted %v}",
+			name, want.cycles, want.firings, want.redactions, want.conflicts, want.halted,
+			got.cycles, got.firings, got.redactions, got.conflicts, got.halted)
+	}
+	if len(want.wm) != len(got.wm) {
+		t.Fatalf("%s: final working memory size %d, want %d", name, len(got.wm), len(want.wm))
+	}
+	for i := range want.wm {
+		if want.wm[i] != got.wm[i] {
+			t.Fatalf("%s: final working memory differs at %d: %q vs %q", name, i, got.wm[i], want.wm[i])
+		}
+	}
+}
+
+// TestMatcherDifferentialEmbeddedPrograms runs every embedded program to
+// quiescence under all four matcher configurations and requires identical
+// cycle counts, firings, redactions, write conflicts, halt status and
+// final working-memory contents.
+func TestMatcherDifferentialEmbeddedPrograms(t *testing.T) {
+	cases := []struct {
+		prog string
+		load func(workload.Inserter) error
+	}{
+		{programs.Quickstart, func(i workload.Inserter) error { return workload.People(i, 10) }},
+		{programs.Alexsys, func(i workload.Inserter) error { return workload.Alexsys(i, 25, 18, 1) }},
+		{programs.Waltz, func(i workload.Inserter) error { return workload.WaltzScene(i, 8) }},
+		{programs.Closure, func(i workload.Inserter) error { return workload.LayeredDAG(i, 4, 4, 2, 1) }},
+		{programs.Manners, func(i workload.Inserter) error { return workload.Manners(i, 10, 2, 4, 1) }},
+		{programs.Life, func(i workload.Inserter) error {
+			return workload.LifeGrid(i, 6, 6, workload.LifeRandom(6, 6, 0.4, 3), 3)
+		}},
+		{programs.Circuit, func(i workload.Inserter) error {
+			return workload.GenCircuit(6, 8, true, 1).Insert(i)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.prog, func(t *testing.T) {
+			prog, err := programs.Load(tc.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := runOutcome(t, prog, tc.load, matcherConfigs[0].factory)
+			for _, cfg := range matcherConfigs[1:] {
+				diffOutcomes(t, cfg.name, base, runOutcome(t, prog, tc.load, cfg.factory))
+			}
+		})
+	}
+}
+
+// TestMatcherDifferentialGeneratedJoinChains sweeps generated deep-join
+// workloads (the E4 shapes) through the same four-way grid. These chains
+// are where the beta index matters most, so a probe/scan disagreement
+// would surface here first.
+func TestMatcherDifferentialGeneratedJoinChains(t *testing.T) {
+	for _, depth := range []int{2, 4, 6} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			prog, err := compile.CompileSource(workload.JoinChainProgram(depth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			facts := workload.JoinChainFacts(10, depth, 2, 1)
+			tmpl := prog.Schema.MustLookup("rec")
+
+			// Drive the matchers directly (the join-chain program has no
+			// actions): build up, then churn, comparing conflict sets after
+			// every delta.
+			mem := wm.NewMemory(prog.Schema)
+			ms := make([]match.Matcher, len(matcherConfigs))
+			for i, cfg := range matcherConfigs {
+				ms[i] = cfg.factory(prog.Rules)
+			}
+			check := func(step string) {
+				t.Helper()
+				base := matchtestKeys(ms[0].ConflictSet())
+				for i, m := range ms[1:] {
+					got := matchtestKeys(m.ConflictSet())
+					if len(base) != len(got) {
+						t.Fatalf("%s: %s: conflict set size %d, want %d",
+							step, matcherConfigs[i+1].name, len(got), len(base))
+					}
+					for j := range base {
+						if base[j] != got[j] {
+							t.Fatalf("%s: %s: conflict sets differ at %d: %s vs %s",
+								step, matcherConfigs[i+1].name, j, got[j], base[j])
+						}
+					}
+				}
+			}
+			apply := func(d wm.Delta) {
+				for _, m := range ms {
+					m.Apply(d)
+				}
+			}
+
+			wmes := make([]*wm.WME, 0, len(facts))
+			for k, fields := range facts {
+				vec := make([]wm.Value, tmpl.Arity())
+				for attr, v := range fields {
+					idx, _ := tmpl.AttrIndex(attr)
+					vec[idx] = v
+				}
+				w := mem.InsertFields(tmpl, vec)
+				wmes = append(wmes, w)
+				apply(wm.Delta{Added: []*wm.WME{w}})
+				if k%13 == 0 {
+					check(fmt.Sprintf("build %d", k))
+				}
+			}
+			check("built")
+			for i := 0; i < len(wmes); i += 5 {
+				old := wmes[i]
+				mem.Remove(old.Time)
+				nw := mem.InsertFields(old.Tmpl, old.Fields)
+				apply(wm.Delta{Removed: []*wm.WME{old}, Added: []*wm.WME{nw}})
+				wmes[i] = nw
+				check(fmt.Sprintf("churn %d", i))
+			}
+		})
+	}
+}
+
+func matchtestKeys(ins []*match.Instantiation) []string {
+	out := make([]string, len(ins))
+	for i, in := range ins {
+		out[i] = in.KeyString()
+	}
+	return out
+}

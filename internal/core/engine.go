@@ -155,15 +155,27 @@ type Engine struct {
 	workers []*worker
 
 	// conflictSet is the union of all workers' conflict sets, by key.
-	conflictSet map[string]*match.Instantiation
+	conflictSet map[match.Key]*match.Instantiation
 	// fired holds refraction state: keys of instantiations that have fired
 	// and are still continuously present in the conflict set.
-	fired map[string]bool
+	fired map[match.Key]bool
 
 	pending wm.Delta
-	redact  *redactor
-	result  Result
-	halted  bool
+	// pendingAddIdx indexes pending.Added by time tag for O(1) Retract of
+	// not-yet-matched insertions. Built lazily on the first Retract after
+	// pending grows (pendingIdxLen marks how far it has been built) and
+	// reset when the pending delta is consumed. Retract replaces a pending
+	// entry with a nil tombstone so indexed positions stay stable;
+	// pendingTombs counts them for the pre-match compaction.
+	pendingAddIdx map[int64]int
+	pendingIdxLen int
+	pendingTombs  int
+	// eligible is the reused scratch for Step's eligible-set construction;
+	// it never escapes a cycle.
+	eligible []*match.Instantiation
+	redact   *redactor
+	result   Result
+	halted   bool
 	// activity counts instantiations entering the conflict set per rule,
 	// feeding the copy-and-constrain advisor (copycon.Advise).
 	activity map[string]int
@@ -198,8 +210,8 @@ func New(prog *compile.Program, opts Options) *Engine {
 		prog:        prog,
 		mem:         wm.NewMemory(prog.Schema),
 		opts:        opts,
-		conflictSet: make(map[string]*match.Instantiation),
-		fired:       make(map[string]bool),
+		conflictSet: make(map[match.Key]*match.Instantiation),
+		fired:       make(map[match.Key]bool),
 		redact:      newRedactor(prog.MetaRules, opts.Workers, opts.DisableRedactionIndex, opts.SequentialRedaction),
 		result:      Result{Stats: &stats.Run{}},
 		activity:    make(map[string]int),
@@ -250,19 +262,54 @@ func (e *Engine) InsertFields(t *wm.Template, fields []wm.Value) *wm.WME {
 // queues the removal for the matchers. A WME whose insertion is still
 // pending (the matchers have not seen it yet) is simply dropped from the
 // pending delta. It returns false when no live WME has that tag.
+//
+// Pending insertions are looked up through a lazily built time-tag index
+// rather than a linear scan: the server retracts per request, and on large
+// seeded working memories a scan per call made retract-heavy traffic
+// quadratic.
 func (e *Engine) Retract(timeTag int64) bool {
-	for i, w := range e.pending.Added {
-		if w.Time == timeTag {
-			e.pending.Added = append(e.pending.Added[:i], e.pending.Added[i+1:]...)
-			e.mem.Remove(timeTag)
-			return true
-		}
+	if e.pendingAddIdx == nil {
+		e.pendingAddIdx = make(map[int64]int, len(e.pending.Added))
+		e.pendingIdxLen = 0
+	}
+	// Extend the index over entries appended since the last Retract.
+	// Tombstoning (below) keeps already-indexed positions stable.
+	for i := e.pendingIdxLen; i < len(e.pending.Added); i++ {
+		e.pendingAddIdx[e.pending.Added[i].Time] = i
+	}
+	e.pendingIdxLen = len(e.pending.Added)
+	if i, ok := e.pendingAddIdx[timeTag]; ok {
+		e.pending.Added[i] = nil
+		e.pendingTombs++
+		delete(e.pendingAddIdx, timeTag)
+		e.mem.Remove(timeTag)
+		return true
 	}
 	if w, ok := e.mem.Remove(timeTag); ok {
 		e.pending.Removed = append(e.pending.Removed, w)
 		return true
 	}
 	return false
+}
+
+// takePending consumes the pending delta for the match phase, compacting
+// out any tombstones Retract left and resetting the retract index.
+func (e *Engine) takePending() wm.Delta {
+	delta := e.pending
+	if e.pendingTombs > 0 {
+		live := delta.Added[:0]
+		for _, w := range delta.Added {
+			if w != nil {
+				live = append(live, w)
+			}
+		}
+		delta.Added = live
+	}
+	e.pending = wm.Delta{}
+	e.pendingAddIdx = nil
+	e.pendingIdxLen = 0
+	e.pendingTombs = 0
+	return delta
 }
 
 // Run executes cycles until quiescence, halt, or the cycle limit.
@@ -301,17 +348,18 @@ func (e *Engine) Step() (bool, error) {
 
 	// MATCH: apply the pending delta to every partition in parallel.
 	t0 := time.Now()
-	e.applyDelta(e.pending)
-	e.pending = wm.Delta{}
+	e.applyDelta(e.takePending())
 	cyc.Match = time.Since(t0)
 
-	// Eligible = conflict set minus refraction.
-	eligible := make([]*match.Instantiation, 0, len(e.conflictSet))
+	// Eligible = conflict set minus refraction. The scratch slice is
+	// reused across cycles; survivors alias it only within this Step.
+	eligible := e.eligible[:0]
 	for k, in := range e.conflictSet {
 		if !e.fired[k] {
 			eligible = append(eligible, in)
 		}
 	}
+	e.eligible = eligible
 	match.SortInstantiations(eligible)
 	cyc.ConflictSize = len(eligible)
 	if len(eligible) == 0 {

@@ -123,7 +123,7 @@ func fireOne(in *match.Instantiation) effect {
 			if len(a.Exprs) == 0 {
 				// Gensym: unique per (instantiation, bind slot) and
 				// deterministic across worker counts.
-				env.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.Key(), a.Local))
+				env.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.KeyString(), a.Local))
 				continue
 			}
 			v, err := compile.Eval(a.Exprs[0], env)

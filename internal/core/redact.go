@@ -63,7 +63,7 @@ func (r *redactor) run(eligible []*match.Instantiation) ([]*match.Instantiation,
 	if len(r.metas) == 0 || len(eligible) == 0 {
 		return eligible, 0, 0
 	}
-	dead := make(map[string]bool)
+	dead := make(map[match.Key]bool)
 	byRule := make(map[*compile.Rule][]*match.Instantiation)
 	for _, in := range eligible {
 		byRule[in.Rule] = append(byRule[in.Rule], in)
@@ -77,13 +77,13 @@ func (r *redactor) run(eligible []*match.Instantiation) ([]*match.Instantiation,
 			// Stripe pattern-0 candidates across workers; each collects a
 			// local dead-set; the union is order-independent.
 			w := r.workers
-			locals := make([]map[string]bool, w)
+			locals := make([]map[match.Key]bool, w)
 			var wg sync.WaitGroup
 			for k := 0; k < w; k++ {
 				wg.Add(1)
 				go func(k int) {
 					defer wg.Done()
-					locals[k] = make(map[string]bool)
+					locals[k] = make(map[match.Key]bool)
 					r.matchMeta(m, states, k, w, locals[k])
 				}(k)
 			}
@@ -159,9 +159,9 @@ func (r *redactor) buildStates(m *compile.MetaRule, byRule map[*compile.Rule][]*
 // the full set; under sequential semantics (always stripe 0 of 1) dead
 // instantiations are skipped and a completed match kills its targets
 // immediately.
-func (r *redactor) matchMeta(m *compile.MetaRule, states []patState, stripe, strides int, dead map[string]bool) {
+func (r *redactor) matchMeta(m *compile.MetaRule, states []patState, stripe, strides int, dead map[match.Key]bool) {
 	tuple := make([]*match.Instantiation, len(m.Patterns))
-	used := make(map[string]bool, len(m.Patterns))
+	used := make(map[match.Key]bool, len(m.Patterns))
 	var choose func(i int)
 	choose = func(i int) {
 		if i == len(m.Patterns) {

@@ -5,13 +5,13 @@ package match
 // and removed (e.g. created by one WME of the delta and retracted by a
 // later one).
 type ChangeCollector struct {
-	net   map[string]int
-	byKey map[string]*Instantiation
+	net   map[Key]int
+	byKey map[Key]*Instantiation
 }
 
 // NewChangeCollector returns an empty collector.
 func NewChangeCollector() *ChangeCollector {
-	return &ChangeCollector{net: make(map[string]int), byKey: make(map[string]*Instantiation)}
+	return &ChangeCollector{net: make(map[Key]int), byKey: make(map[Key]*Instantiation)}
 }
 
 // Add records an instantiation addition.
@@ -37,10 +37,10 @@ func (c *ChangeCollector) Take() Changes {
 		case v < 0:
 			ch.Removed = append(ch.Removed, c.byKey[k])
 		}
+		delete(c.net, k)
+		delete(c.byKey, k)
 	}
 	SortInstantiations(ch.Added)
 	SortInstantiations(ch.Removed)
-	c.net = make(map[string]int)
-	c.byKey = make(map[string]*Instantiation)
 	return ch
 }

@@ -9,7 +9,7 @@ import (
 // Explain writes a human-readable listing of a conflict set: each
 // instantiation's rule, refraction status, matched elements and variable
 // bindings. fired may be nil.
-func Explain(w io.Writer, ins []*Instantiation, fired map[string]bool) error {
+func Explain(w io.Writer, ins []*Instantiation, fired map[Key]bool) error {
 	if _, err := fmt.Fprintf(w, "conflict set: %d instantiation(s)\n", len(ins)); err != nil {
 		return err
 	}

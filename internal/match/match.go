@@ -23,23 +23,78 @@ type Instantiation struct {
 	Rule *compile.Rule
 	// WMEs holds the matched elements indexed by positive CE.
 	WMEs []*wm.WME
-	key  string
+	key  Key
 }
+
+// Key is a compact, comparable instantiation identity: the rule's
+// declaration index, the length of the WME vector, the first keyTagsInline
+// time tags verbatim, and an FNV-1a hash folding in the whole time-tag
+// vector. Building a Key performs no heap allocation, unlike the
+// fmt-formatted string key it replaced, and Keys hash as fixed-size values
+// in the engine's hot maps (conflict sets, refraction, redaction,
+// change collectors).
+//
+// Keys are a pure function of (rule index, time-tag vector), so equal
+// instantiations produced by different matcher implementations or worker
+// partitions have equal Keys. For rules with up to keyTagsInline positive
+// condition elements — every embedded program — the key is exact. Deeper
+// rules additionally rely on the 64-bit hash over the tail: two distinct
+// instantiations of the same rule collide only if they agree on the first
+// keyTagsInline tags, the vector length, and the FNV-1a hash of the full
+// vector (probability ~2^-64 per candidate pair).
+type Key struct {
+	Rule int32
+	Len  uint16
+	Hash uint64
+	Tags [keyTagsInline]int64
+}
+
+// keyTagsInline is the number of leading time tags stored verbatim in a
+// Key. Four covers the deepest rules of every embedded program.
+const keyTagsInline = 4
+
+// FNV-1a 64-bit parameters (hash/fnv, inlined to keep key construction
+// allocation- and interface-free).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // NewInstantiation builds an instantiation and its dedup key.
 func NewInstantiation(rule *compile.Rule, wmes []*wm.WME) *Instantiation {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d", rule.Index)
-	for _, w := range wmes {
-		fmt.Fprintf(&b, ":%d", w.Time)
+	in := &Instantiation{Rule: rule, WMEs: wmes}
+	k := Key{Rule: int32(rule.Index), Len: uint16(len(wmes))}
+	h := uint64(fnvOffset64)
+	for i, w := range wmes {
+		t := uint64(w.Time)
+		for s := uint(0); s < 64; s += 8 {
+			h = (h ^ (t >> s & 0xff)) * fnvPrime64
+		}
+		if i < keyTagsInline {
+			k.Tags[i] = w.Time
+		}
 	}
-	return &Instantiation{Rule: rule, WMEs: wmes, key: b.String()}
+	k.Hash = h
+	in.key = k
+	return in
 }
 
-// Key is a unique, deterministic identifier: the rule index and the time
-// tags of the matched WMEs. Equal instantiations produced by different
-// matcher implementations have equal keys.
-func (in *Instantiation) Key() string { return in.key }
+// Key is a unique, deterministic identifier derived from the rule index
+// and the time tags of the matched WMEs. Equal instantiations produced by
+// different matcher implementations have equal keys.
+func (in *Instantiation) Key() Key { return in.key }
+
+// KeyString renders the identity in the legacy human-readable form
+// `ruleIndex:tag:tag:…`. Used for gensym symbols and test diagnostics;
+// hot paths use the comparable Key instead.
+func (in *Instantiation) KeyString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", in.Rule.Index)
+	for _, w := range in.WMEs {
+		fmt.Fprintf(&b, ":%d", w.Time)
+	}
+	return b.String()
+}
 
 // Tag returns the instantiation's recency tag: the maximum time tag among
 // its WMEs. Exposed to meta-rules as `(tag <i>)`.

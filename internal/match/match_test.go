@@ -35,8 +35,8 @@ func TestInstantiationKeyAndTag(t *testing.T) {
 	r1, _ := prog.RuleByName("r1")
 	w1, w2 := mkWME(t, mem, 1), mkWME(t, mem, 2)
 	in := NewInstantiation(r1, []*wm.WME{w1, w2})
-	if in.Key() != "0:1:2" {
-		t.Errorf("key = %q", in.Key())
+	if in.KeyString() != "0:1:2" {
+		t.Errorf("key string = %q", in.KeyString())
 	}
 	if in.Tag() != w2.Time {
 		t.Errorf("tag = %d, want %d", in.Tag(), w2.Time)
@@ -44,6 +44,41 @@ func TestInstantiationKeyAndTag(t *testing.T) {
 	rev := NewInstantiation(r1, []*wm.WME{w2, w1})
 	if rev.Key() == in.Key() {
 		t.Error("order of WMEs must distinguish keys")
+	}
+	dup := NewInstantiation(r1, []*wm.WME{w1, w2})
+	if dup.Key() != in.Key() {
+		t.Error("equal rule and WME vector must produce equal keys")
+	}
+	r2, _ := prog.RuleByName("r2")
+	other := NewInstantiation(r2, []*wm.WME{w1, w2})
+	if other.Key() == in.Key() {
+		t.Error("distinct rules must distinguish keys")
+	}
+}
+
+func TestInstantiationKeyDeepVectors(t *testing.T) {
+	// Vectors longer than the inline tag prefix must still be
+	// distinguished (via length and the hash over the full vector).
+	prog, mem := testRuleAndWMEs(t)
+	r1, _ := prog.RuleByName("r1")
+	wmes := make([]*wm.WME, 0, 8)
+	for i := int64(1); i <= 8; i++ {
+		wmes = append(wmes, mkWME(t, mem, i))
+	}
+	seen := make(map[Key]string)
+	// Same first keyTagsInline WMEs, different tails.
+	for tail := 4; tail < 8; tail++ {
+		vec := append(append([]*wm.WME(nil), wmes[:4]...), wmes[tail])
+		in := NewInstantiation(r1, vec)
+		if prev, dup := seen[in.Key()]; dup {
+			t.Fatalf("key collision: %s and %s", prev, in.KeyString())
+		}
+		seen[in.Key()] = in.KeyString()
+	}
+	// A prefix must not collide with its extension.
+	short := NewInstantiation(r1, wmes[:4])
+	if _, dup := seen[short.Key()]; dup {
+		t.Fatal("prefix vector collided with an extension")
 	}
 }
 
@@ -92,7 +127,7 @@ func TestSortInstantiationsDeterministic(t *testing.T) {
 	SortInstantiations(shuffled)
 	for i := range ins {
 		if shuffled[i].Key() != ins[i].Key() {
-			t.Fatalf("sort not deterministic at %d: %s vs %s", i, shuffled[i].Key(), ins[i].Key())
+			t.Fatalf("sort not deterministic at %d: %s vs %s", i, shuffled[i].KeyString(), ins[i].KeyString())
 		}
 	}
 }

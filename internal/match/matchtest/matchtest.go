@@ -112,11 +112,12 @@ func Compiled(t testing.TB, name string) *compile.Program {
 	return p
 }
 
-// Keys extracts sorted instantiation keys for comparisons.
+// Keys extracts instantiation keys, in the slice's order, for
+// comparisons (KeyString form, so failures read as rule:tag:tag…).
 func Keys(ins []*match.Instantiation) []string {
 	out := make([]string, len(ins))
 	for i, in := range ins {
-		out[i] = in.Key()
+		out[i] = in.KeyString()
 	}
 	return out
 }
@@ -263,7 +264,7 @@ func naiveConflictSet(prog *compile.Program, mem *wm.Memory) map[string]bool {
 		var walk func(ceIdx int) // emits into out
 		walk = func(ceIdx int) {
 			if ceIdx == len(rule.CEs) {
-				out[match.NewInstantiation(rule, append([]*wm.WME(nil), vec...)).Key()] = true
+				out[match.NewInstantiation(rule, append([]*wm.WME(nil), vec...)).KeyString()] = true
 				return
 			}
 			ce := rule.CEs[ceIdx]

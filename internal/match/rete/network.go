@@ -9,10 +9,20 @@ import (
 	"parulel/internal/wm"
 )
 
+// Options configures a Network.
+type Options struct {
+	// DisableJoinIndex turns off the hash-join indexes over alpha and beta
+	// memories, forcing every join and negative node onto the nested-loop
+	// path. Exists for ablation measurements (experiment E11); production
+	// callers should leave it false.
+	DisableJoinIndex bool
+}
+
 // Network is a RETE network over a partition of rules. It implements
 // match.Matcher. A Network must be used by a single goroutine.
 type Network struct {
 	rules []*compile.Rule
+	opts  Options
 
 	alphaByTmpl map[*wm.Template][]*alphaMem
 	alphaBySig  map[string]*alphaMem
@@ -23,27 +33,40 @@ type Network struct {
 	wmeTokens     map[*wm.WME][]*token
 	wmeNegResults map[*wm.WME][]*negJoinResult
 
-	conflictSet map[string]*match.Instantiation
+	conflictSet map[match.Key]*match.Instantiation
 	coll        *match.ChangeCollector
 
 	betaMems []*betaMem
 	negNodes []*negativeNode
 	prods    []*productionNode
+
+	// delStack is the reused traversal stack of deleteTokenAndDescendants,
+	// so deep token chains neither recurse nor reallocate per deletion.
+	delStack []*token
 }
 
 var _ match.Matcher = (*Network)(nil)
 
-// New builds a RETE network for the given rules. It satisfies
-// match.Factory.
-func New(rules []*compile.Rule) match.Matcher {
+// New builds a RETE network with default options for the given rules. It
+// satisfies match.Factory.
+func New(rules []*compile.Rule) match.Matcher { return NewWithOptions(rules, Options{}) }
+
+// Factory returns a match.Factory that builds networks with fixed options.
+func Factory(opts Options) match.Factory {
+	return func(rules []*compile.Rule) match.Matcher { return NewWithOptions(rules, opts) }
+}
+
+// NewWithOptions builds a RETE network for the given rules.
+func NewWithOptions(rules []*compile.Rule, opts Options) match.Matcher {
 	n := &Network{
 		rules:         rules,
+		opts:          opts,
 		alphaByTmpl:   make(map[*wm.Template][]*alphaMem),
 		alphaBySig:    make(map[string]*alphaMem),
 		wmeAlpha:      make(map[*wm.WME][]*alphaMem),
 		wmeTokens:     make(map[*wm.WME][]*token),
 		wmeNegResults: make(map[*wm.WME][]*negJoinResult),
-		conflictSet:   make(map[string]*match.Instantiation),
+		conflictSet:   make(map[match.Key]*match.Instantiation),
 		coll:          match.NewChangeCollector(),
 	}
 	for _, r := range rules {
@@ -77,7 +100,7 @@ func (n *Network) alpha(ce *compile.CondElem) *alphaMem {
 	if am, ok := n.alphaBySig[sig]; ok {
 		return am
 	}
-	am := &alphaMem{rep: ce, wmes: make(map[*wm.WME]struct{})}
+	am := &alphaMem{rep: ce, wmes: make(wmeSet)}
 	n.alphaBySig[sig] = am
 	n.alphaByTmpl[ce.Tmpl] = append(n.alphaByTmpl[ce.Tmpl], am)
 	return am
@@ -91,11 +114,26 @@ func (am *alphaMem) attach(rn rightNode) {
 	am.succs = append([]rightNode{rn}, am.succs...)
 }
 
+// eqJoinTest picks the equality join test the hash indexes are built on:
+// the first OpEq test (strict equality — exactly map-key equality over
+// wm.Value). Returns -1 when the CE has none or indexing is disabled.
+func (n *Network) eqJoinTest(ce *compile.CondElem) int {
+	if n.opts.DisableJoinIndex {
+		return -1
+	}
+	for i := range ce.JoinTests {
+		if ce.JoinTests[i].Op == compile.OpEq {
+			return i
+		}
+	}
+	return -1
+}
+
 // addRule builds the beta chain for one rule: a private top beta memory
 // with a dummy token, then one join or negative node per condition
 // element, ending in a production node.
 func (n *Network) addRule(r *compile.Rule) {
-	top := &betaMem{net: n, tokens: make(map[*token]struct{})}
+	top := &betaMem{net: n, tokens: make(tokenSet)}
 	n.betaMems = append(n.betaMems, top)
 	dummy := &token{vec: nil, owner: top}
 	top.tokens[dummy] = struct{}{}
@@ -110,18 +148,25 @@ func (n *Network) addRule(r *compile.Rule) {
 			n.prods = append(n.prods, prod)
 			child = prod
 		} else {
-			collector = &betaMem{net: n, tokens: make(map[*token]struct{})}
+			collector = &betaMem{net: n, tokens: make(tokenSet)}
 			n.betaMems = append(n.betaMems, collector)
 			child = collector
 		}
 		am := n.alpha(ce)
+		eq := n.eqJoinTest(ce)
 		if ce.Negated {
 			neg := &negativeNode{
 				net:    n,
 				amem:   am,
 				ce:     ce,
-				tokens: make(map[*token]struct{}),
+				tokens: make(tokenSet),
 				child:  child,
+				eqTest: eq,
+			}
+			if eq >= 0 {
+				jt := &ce.JoinTests[eq]
+				neg.alphaIdx = am.indexField(jt.Field)
+				neg.tokensByVal = make(map[wm.Value]tokenSet)
 			}
 			n.negNodes = append(n.negNodes, neg)
 			cur.succs = append(cur.succs, neg)
@@ -132,7 +177,12 @@ func (n *Network) addRule(r *compile.Rule) {
 				neg.leftActivate(t)
 			}
 		} else {
-			j := &joinNode{net: n, parent: cur, amem: am, ce: ce, child: child}
+			j := &joinNode{net: n, parent: cur, amem: am, ce: ce, child: child, eqTest: eq}
+			if eq >= 0 {
+				jt := &ce.JoinTests[eq]
+				j.alphaIdx = am.indexField(jt.Field)
+				j.betaIdx = cur.indexOn(jt.OtherCE, jt.OtherField)
+			}
 			cur.succs = append(cur.succs, j)
 			am.attach(j)
 			for t := range cur.tokens {
@@ -162,7 +212,7 @@ func (n *Network) addWME(w *wm.WME) {
 		if !am.rep.MatchesAlpha(w) {
 			continue
 		}
-		am.wmes[w] = struct{}{}
+		am.add(w)
 		n.wmeAlpha[w] = append(n.wmeAlpha[w], am)
 		for _, s := range am.succs {
 			s.rightAdd(w)
@@ -173,7 +223,7 @@ func (n *Network) addWME(w *wm.WME) {
 func (n *Network) removeWME(w *wm.WME) {
 	// 1. Remove from alpha memories so in-flight joins no longer see it.
 	for _, am := range n.wmeAlpha[w] {
-		delete(am.wmes, w)
+		am.remove(w)
 	}
 	delete(n.wmeAlpha, w)
 
@@ -197,23 +247,38 @@ func (n *Network) removeWME(w *wm.WME) {
 }
 
 // deleteTokenAndDescendants removes a token and its whole subtree,
-// unhooking it from its owner's memory and its parent's child list.
+// unhooking each token from its owner's memory and — for the root only —
+// from its parent's child list (descendants' parents are deleted with
+// them, so their child lists need no surgery). The traversal uses an
+// explicit, reused stack: long join chains and large closure DAGs produce
+// token trees deep enough that recursion risks unbounded goroutine stack
+// growth.
 func (n *Network) deleteTokenAndDescendants(t *token) {
 	if t.dead {
 		return
 	}
-	t.dead = true
-	for len(t.children) > 0 {
-		n.deleteTokenAndDescendants(t.children[len(t.children)-1])
-	}
-	if t.owner != nil {
-		t.owner.removeToken(t)
-		t.owner = nil
-	}
+	// Unhook the root from its (still live) parent; every descendant's
+	// parent is deleted in the same sweep.
 	if t.parent != nil {
 		t.parent.dropChild(t)
-		t.parent = nil
 	}
+	stack := append(n.delStack[:0], t)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.dead {
+			continue
+		}
+		cur.dead = true
+		stack = append(stack, cur.children...)
+		cur.children = nil
+		cur.parent = nil
+		if cur.owner != nil {
+			cur.owner.removeToken(cur)
+			cur.owner = nil
+		}
+	}
+	n.delStack = stack[:0]
 }
 
 // deleteDescendants removes a token's subtree but keeps the token itself

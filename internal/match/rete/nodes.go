@@ -4,6 +4,14 @@
 // layer of join nodes, beta memories and negative nodes per rule, ending in
 // production nodes that maintain the conflict set.
 //
+// Join and negative nodes with at least one equality join test are
+// hash-indexed (Doorenbos' "memory indexing"): the alpha memory keeps a
+// per-field value index and the parent beta memory (or the negative node's
+// own token memory) an index on the corresponding token binding, so each
+// activation probes one bucket instead of scanning the whole opposite
+// memory. Nodes without an equality test keep the nested-loop path, and
+// Options.DisableJoinIndex forces it everywhere for ablation measurements.
+//
 // Each Network instance owns a partition of rules and is used by exactly
 // one goroutine; the PARULEL engine achieves match parallelism by running
 // one Network per worker over disjoint rule partitions (production-level
@@ -65,54 +73,184 @@ type rightNode interface {
 	rightRemove(w *wm.WME)
 }
 
+// wmeSet is one hash-index bucket of an alpha memory.
+type wmeSet = map[*wm.WME]struct{}
+
+// tokenSet is one hash-index bucket of a beta/negative memory.
+type tokenSet = map[*token]struct{}
+
 // alphaMem is an alpha memory: the set of WMEs passing one CE's constant
 // and intra-element tests. Alpha memories are shared between structurally
 // identical CEs of the partition's rules.
 type alphaMem struct {
 	// rep is a representative CE carrying the alpha tests.
 	rep   *compile.CondElem
-	wmes  map[*wm.WME]struct{}
+	wmes  wmeSet
 	succs []rightNode
+	// byField holds one value index per field some attached node
+	// equality-joins on: byField[f][v] is the subset of wmes whose field f
+	// equals v. Registered at build time, maintained on every add/remove.
+	byField map[int]map[wm.Value]wmeSet
 }
+
+// indexField registers (or returns the existing) value index over field f,
+// backfilling it from the current memory contents.
+func (am *alphaMem) indexField(f int) map[wm.Value]wmeSet {
+	if idx, ok := am.byField[f]; ok {
+		return idx
+	}
+	if am.byField == nil {
+		am.byField = make(map[int]map[wm.Value]wmeSet)
+	}
+	idx := make(map[wm.Value]wmeSet)
+	for w := range am.wmes {
+		addWMEBucket(idx, w.Fields[f], w)
+	}
+	am.byField[f] = idx
+	return idx
+}
+
+func (am *alphaMem) add(w *wm.WME) {
+	am.wmes[w] = struct{}{}
+	for f, idx := range am.byField {
+		addWMEBucket(idx, w.Fields[f], w)
+	}
+}
+
+func (am *alphaMem) remove(w *wm.WME) {
+	delete(am.wmes, w)
+	for f, idx := range am.byField {
+		dropWMEBucket(idx, w.Fields[f], w)
+	}
+}
+
+func addWMEBucket(idx map[wm.Value]wmeSet, v wm.Value, w *wm.WME) {
+	b := idx[v]
+	if b == nil {
+		b = make(wmeSet)
+		idx[v] = b
+	}
+	b[w] = struct{}{}
+}
+
+func dropWMEBucket(idx map[wm.Value]wmeSet, v wm.Value, w *wm.WME) {
+	if b := idx[v]; b != nil {
+		delete(b, w)
+		if len(b) == 0 {
+			delete(idx, v)
+		}
+	}
+}
+
+// betaKey identifies a beta-memory index: the binding at (positive CE,
+// field) of each stored token's vector.
+type betaKey struct{ ce, field int }
 
 // betaMem stores tokens and forwards them to its child nodes.
 type betaMem struct {
 	net    *Network
-	tokens map[*token]struct{}
+	tokens tokenSet
 	succs  []node
+	// byVal holds one value index per (ce, field) binding some successor
+	// join node equality-tests against.
+	byVal map[betaKey]map[wm.Value]tokenSet
+}
+
+// indexOn registers (or returns the existing) token index on the binding
+// at (ce, field), backfilling from current contents.
+func (b *betaMem) indexOn(ce, field int) map[wm.Value]tokenSet {
+	k := betaKey{ce, field}
+	if idx, ok := b.byVal[k]; ok {
+		return idx
+	}
+	if b.byVal == nil {
+		b.byVal = make(map[betaKey]map[wm.Value]tokenSet)
+	}
+	idx := make(map[wm.Value]tokenSet)
+	for t := range b.tokens {
+		addTokenBucket(idx, t.vec[ce].Fields[field], t)
+	}
+	b.byVal[k] = idx
+	return idx
 }
 
 func (b *betaMem) leftActivate(t *token) {
 	t.owner = b
 	b.tokens[t] = struct{}{}
+	for k, idx := range b.byVal {
+		addTokenBucket(idx, t.vec[k.ce].Fields[k.field], t)
+	}
 	for _, s := range b.succs {
 		s.leftActivate(t)
 	}
 }
 
-func (b *betaMem) removeToken(t *token) { delete(b.tokens, t) }
+func (b *betaMem) removeToken(t *token) {
+	delete(b.tokens, t)
+	for k, idx := range b.byVal {
+		dropTokenBucket(idx, t.vec[k.ce].Fields[k.field], t)
+	}
+}
+
+func addTokenBucket(idx map[wm.Value]tokenSet, v wm.Value, t *token) {
+	b := idx[v]
+	if b == nil {
+		b = make(tokenSet)
+		idx[v] = b
+	}
+	b[t] = struct{}{}
+}
+
+func dropTokenBucket(idx map[wm.Value]tokenSet, v wm.Value, t *token) {
+	if b := idx[v]; b != nil {
+		delete(b, t)
+		if len(b) == 0 {
+			delete(idx, v)
+		}
+	}
+}
 
 // joinNode joins tokens from its parent beta memory with WMEs from its
 // alpha memory, applying the CE's variable-consistency tests and any
-// attached filter expressions.
+// attached filter expressions. When the CE has an equality join test the
+// node probes hash indexes on both memories instead of scanning them.
 type joinNode struct {
 	net    *Network
 	parent *betaMem
 	amem   *alphaMem
 	ce     *compile.CondElem
 	child  node // betaMem, negativeNode or productionNode
+	// eqTest is the index within ce.JoinTests of the equality test the
+	// hash indexes are built on, or -1 for the nested-loop path.
+	eqTest int
+	// alphaIdx / betaIdx are the probe indexes when eqTest >= 0: the alpha
+	// memory's WMEs by the tested field, and the parent beta memory's
+	// tokens by the joined binding.
+	alphaIdx map[wm.Value]wmeSet
+	betaIdx  map[wm.Value]tokenSet
+	// scratch is a reused WME vector for filter evaluation; the vector
+	// handed to EvalFilters never escapes it.
+	scratch []*wm.WME
 }
 
+// passes applies the CE's join tests and filters to a candidate pair. The
+// equality test the hash indexes are built on (eqTest) is skipped: both
+// activation paths reach passes only through an index probe on exactly
+// that test's value, and map-key equality coincides with OpEq.
 func (j *joinNode) passes(t *token, w *wm.WME) bool {
-	for _, jt := range j.ce.JoinTests {
+	for i, jt := range j.ce.JoinTests {
+		if i == j.eqTest {
+			continue
+		}
 		if !jt.Op.Apply(w.Fields[jt.Field], t.vec[jt.OtherCE].Fields[jt.OtherField]) {
 			return false
 		}
 	}
 	if len(j.ce.Filters) > 0 {
-		// Filters need the vector including this WME.
-		vec := append(append(make([]*wm.WME, 0, len(t.vec)+1), t.vec...), w)
-		return match.EvalFilters(j.ce, vec)
+		// Filters need the vector including this WME; reuse the node's
+		// scratch buffer rather than allocating per candidate.
+		j.scratch = append(append(j.scratch[:0], t.vec...), w)
+		return match.EvalFilters(j.ce, j.scratch)
 	}
 	return true
 }
@@ -126,6 +264,15 @@ func (j *joinNode) propagate(t *token, w *wm.WME) {
 }
 
 func (j *joinNode) leftActivate(t *token) {
+	if j.eqTest >= 0 {
+		jt := &j.ce.JoinTests[j.eqTest]
+		for w := range j.alphaIdx[t.vec[jt.OtherCE].Fields[jt.OtherField]] {
+			if j.passes(t, w) {
+				j.propagate(t, w)
+			}
+		}
+		return
+	}
 	for w := range j.amem.wmes {
 		if j.passes(t, w) {
 			j.propagate(t, w)
@@ -139,6 +286,15 @@ func (j *joinNode) removeToken(*token) {
 }
 
 func (j *joinNode) rightAdd(w *wm.WME) {
+	if j.eqTest >= 0 {
+		jt := &j.ce.JoinTests[j.eqTest]
+		for t := range j.betaIdx[w.Fields[jt.Field]] {
+			if j.passes(t, w) {
+				j.propagate(t, w)
+			}
+		}
+		return
+	}
 	for t := range j.parent.tokens {
 		if j.passes(t, w) {
 			j.propagate(t, w)
@@ -154,13 +310,20 @@ func (j *joinNode) rightRemove(*wm.WME) {
 // negativeNode implements negated condition elements. It stores the tokens
 // flowing through it; a token's children exist exactly while no WME in the
 // alpha memory matches it. Join results are tracked per (token, wme) pair
-// via the network's wmeNegResults index.
+// via the network's wmeNegResults index. Like join nodes, a negative node
+// with an equality join test probes a value index over the alpha memory
+// and keeps its own tokens indexed by the joined binding.
 type negativeNode struct {
 	net    *Network
 	amem   *alphaMem
 	ce     *compile.CondElem
-	tokens map[*token]struct{}
+	tokens tokenSet
 	child  node
+	// eqTest / alphaIdx mirror joinNode's hash-join state; tokensByVal
+	// indexes this node's own token memory by the joined binding.
+	eqTest      int
+	alphaIdx    map[wm.Value]wmeSet
+	tokensByVal map[wm.Value]tokenSet
 }
 
 type negJoinResult struct {
@@ -169,8 +332,13 @@ type negJoinResult struct {
 	node  *negativeNode
 }
 
+// passes applies the negated CE's join tests, skipping the indexed
+// equality test (see joinNode.passes).
 func (n *negativeNode) passes(t *token, w *wm.WME) bool {
-	for _, jt := range n.ce.JoinTests {
+	for i, jt := range n.ce.JoinTests {
+		if i == n.eqTest {
+			continue
+		}
 		if !jt.Op.Apply(w.Fields[jt.Field], t.vec[jt.OtherCE].Fields[jt.OtherField]) {
 			return false
 		}
@@ -184,6 +352,12 @@ func (n *negativeNode) propagate(t *token) {
 	n.child.leftActivate(nt)
 }
 
+// probeValue is the token-side binding of the indexed equality test.
+func (n *negativeNode) probeValue(t *token) wm.Value {
+	jt := &n.ce.JoinTests[n.eqTest]
+	return t.vec[jt.OtherCE].Fields[jt.OtherField]
+}
+
 func (n *negativeNode) leftActivate(t *token) {
 	// Create this node's own token rather than adopting the incoming one:
 	// the incoming token may already be owned by a beta memory, and a
@@ -192,11 +366,23 @@ func (n *negativeNode) leftActivate(t *token) {
 	nt := &token{parent: t, vec: t.vec, owner: n}
 	t.addChild(nt)
 	n.tokens[nt] = struct{}{}
-	for w := range n.amem.wmes {
-		if n.passes(nt, w) {
-			nt.nresults++
-			jr := &negJoinResult{owner: nt, wme: w, node: n}
-			n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+	if n.eqTest >= 0 {
+		v := n.probeValue(nt)
+		addTokenBucket(n.tokensByVal, v, nt)
+		for w := range n.alphaIdx[v] {
+			if n.passes(nt, w) {
+				nt.nresults++
+				jr := &negJoinResult{owner: nt, wme: w, node: n}
+				n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+			}
+		}
+	} else {
+		for w := range n.amem.wmes {
+			if n.passes(nt, w) {
+				nt.nresults++
+				jr := &negJoinResult{owner: nt, wme: w, node: n}
+				n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+			}
 		}
 	}
 	if nt.nresults == 0 {
@@ -206,20 +392,36 @@ func (n *negativeNode) leftActivate(t *token) {
 
 func (n *negativeNode) removeToken(t *token) {
 	delete(n.tokens, t)
+	if n.eqTest >= 0 {
+		dropTokenBucket(n.tokensByVal, n.probeValue(t), t)
+	}
 	// This token's join results stay in the per-WME index; they are
 	// filtered out via the dead flag when consumed (Network.removeWME).
 }
 
+func (n *negativeNode) blockToken(t *token, w *wm.WME) {
+	if t.nresults == 0 {
+		// Absence no longer holds: retract descendants.
+		n.net.deleteDescendants(t)
+	}
+	t.nresults++
+	jr := &negJoinResult{owner: t, wme: w, node: n}
+	n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+}
+
 func (n *negativeNode) rightAdd(w *wm.WME) {
+	if n.eqTest >= 0 {
+		jt := &n.ce.JoinTests[n.eqTest]
+		for t := range n.tokensByVal[w.Fields[jt.Field]] {
+			if n.passes(t, w) {
+				n.blockToken(t, w)
+			}
+		}
+		return
+	}
 	for t := range n.tokens {
 		if n.passes(t, w) {
-			if t.nresults == 0 {
-				// Absence no longer holds: retract descendants.
-				n.net.deleteDescendants(t)
-			}
-			t.nresults++
-			jr := &negJoinResult{owner: t, wme: w, node: n}
-			n.net.wmeNegResults[w] = append(n.net.wmeNegResults[w], jr)
+			n.blockToken(t, w)
 		}
 	}
 }

@@ -70,7 +70,7 @@ func TestReteBasicJoin(t *testing.T) {
 	mem.Remove(p1.Time)
 	ch = n.Apply(wm.Delta{Removed: []*wm.WME{p1}})
 	if len(ch.Removed) != 1 || ch.Removed[0].Key() != in.Key() {
-		t.Fatalf("expected retraction of %s, got %v", in.Key(), ch.Removed)
+		t.Fatalf("expected retraction of %s, got %v", in.KeyString(), ch.Removed)
 	}
 	if cs := n.ConflictSet(); len(cs) != 0 {
 		t.Fatalf("conflict set should be empty: %v", cs)
@@ -175,10 +175,10 @@ func TestReteSelfJoinSingleDelta(t *testing.T) {
 	if len(ch.Added) != 2 {
 		t.Fatalf("expected 2 instantiations, got %d: %v", len(ch.Added), ch.Added)
 	}
-	seen := map[string]bool{}
+	seen := map[match.Key]bool{}
 	for _, in := range ch.Added {
 		if seen[in.Key()] {
-			t.Fatalf("duplicate instantiation %s", in.Key())
+			t.Fatalf("duplicate instantiation %s", in.KeyString())
 		}
 		seen[in.Key()] = true
 	}
@@ -236,8 +236,16 @@ func TestReteConformance(t *testing.T) {
 	matchtest.RunConformance(t, rete.New)
 }
 
+func TestReteConformanceNoJoinIndex(t *testing.T) {
+	matchtest.RunConformance(t, rete.Factory(rete.Options{DisableJoinIndex: true}))
+}
+
 func TestReteVsTreatDifferential(t *testing.T) {
 	matchtest.RunDifferential(t, rete.New, treat.New)
+}
+
+func TestReteIndexedVsUnindexedDifferential(t *testing.T) {
+	matchtest.RunDifferential(t, rete.New, rete.Factory(rete.Options{DisableJoinIndex: true}))
 }
 
 var _ match.Matcher = rete.New(nil)

@@ -14,6 +14,11 @@
 //     now blocks;
 //   - removing one re-derives the combinations it alone was blocking.
 //
+// Alpha memories of CEs with an equality join test carry a hash index by
+// the tested field's value, so seeded joins probe one bucket per level
+// instead of scanning the whole memory (Options.DisableJoinIndex restores
+// the scan for ablation).
+//
 // The classic trade-off reproduced by experiment E4: cheaper memory and
 // cheap removals, but join work is repeated on every addition, which loses
 // to RETE on deep join chains with small deltas.
@@ -25,15 +30,25 @@ import (
 	"parulel/internal/wm"
 )
 
+// Options configures a Treat matcher.
+type Options struct {
+	// DisableJoinIndex turns off the per-CE alpha-memory value indexes,
+	// forcing seeded joins to scan whole alpha memories (ablation E11).
+	DisableJoinIndex bool
+}
+
+// wmeSet is an alpha memory or one of its hash-index buckets.
+type wmeSet = map[*wm.WME]struct{}
+
 // Treat is a TREAT matcher over a partition of rules. It implements
 // match.Matcher and must be used by a single goroutine.
 type Treat struct {
 	rules []*ruleState
 	// conflictSet holds all current instantiations by key.
-	conflictSet map[string]*match.Instantiation
+	conflictSet map[match.Key]*match.Instantiation
 	// byWME indexes instantiations by the WMEs they contain, for O(1)
 	// removal.
-	byWME map[*wm.WME]map[string]*match.Instantiation
+	byWME map[*wm.WME]map[match.Key]*match.Instantiation
 	coll  *match.ChangeCollector
 }
 
@@ -43,32 +58,100 @@ type ruleState struct {
 	rule *compile.Rule
 	// alphas holds one alpha memory per condition element, in source
 	// order (negated CEs included).
-	alphas []map[*wm.WME]struct{}
+	alphas []wmeSet
+	// eqTest[i] is the index within CEs[i].JoinTests of the equality test
+	// alphaIdx[i] is keyed on, or -1 when the CE has no equality join test
+	// (or indexing is disabled).
+	eqTest []int
+	// alphaIdx[i], when eqTest[i] >= 0, indexes alphas[i] by the tested
+	// field's value so seeded joins probe a bucket instead of scanning.
+	alphaIdx []map[wm.Value]wmeSet
 	// insts holds this rule's current instantiations by key, for
 	// negated-CE violation checks.
-	insts map[string]*match.Instantiation
+	insts map[match.Key]*match.Instantiation
 }
 
-// New builds a TREAT matcher for the given rules. It satisfies
-// match.Factory.
-func New(rules []*compile.Rule) match.Matcher {
+// New builds a TREAT matcher with default options for the given rules. It
+// satisfies match.Factory.
+func New(rules []*compile.Rule) match.Matcher { return NewWithOptions(rules, Options{}) }
+
+// Factory returns a match.Factory that builds matchers with fixed options.
+func Factory(opts Options) match.Factory {
+	return func(rules []*compile.Rule) match.Matcher { return NewWithOptions(rules, opts) }
+}
+
+// NewWithOptions builds a TREAT matcher for the given rules.
+func NewWithOptions(rules []*compile.Rule, opts Options) match.Matcher {
 	t := &Treat{
-		conflictSet: make(map[string]*match.Instantiation),
-		byWME:       make(map[*wm.WME]map[string]*match.Instantiation),
+		conflictSet: make(map[match.Key]*match.Instantiation),
+		byWME:       make(map[*wm.WME]map[match.Key]*match.Instantiation),
 		coll:        match.NewChangeCollector(),
 	}
 	for _, r := range rules {
 		rs := &ruleState{
-			rule:   r,
-			alphas: make([]map[*wm.WME]struct{}, len(r.CEs)),
-			insts:  make(map[string]*match.Instantiation),
+			rule:     r,
+			alphas:   make([]wmeSet, len(r.CEs)),
+			eqTest:   make([]int, len(r.CEs)),
+			alphaIdx: make([]map[wm.Value]wmeSet, len(r.CEs)),
+			insts:    make(map[match.Key]*match.Instantiation),
 		}
-		for i := range rs.alphas {
-			rs.alphas[i] = make(map[*wm.WME]struct{})
+		for i, ce := range r.CEs {
+			rs.alphas[i] = make(wmeSet)
+			rs.eqTest[i] = -1
+			if opts.DisableJoinIndex {
+				continue
+			}
+			for j := range ce.JoinTests {
+				if ce.JoinTests[j].Op == compile.OpEq {
+					rs.eqTest[i] = j
+					rs.alphaIdx[i] = make(map[wm.Value]wmeSet)
+					break
+				}
+			}
 		}
 		t.rules = append(t.rules, rs)
 	}
 	return t
+}
+
+// alphaInsert adds w to the CE's alpha memory and its value index.
+func (rs *ruleState) alphaInsert(i int, w *wm.WME) {
+	rs.alphas[i][w] = struct{}{}
+	if j := rs.eqTest[i]; j >= 0 {
+		v := w.Fields[rs.rule.CEs[i].JoinTests[j].Field]
+		b := rs.alphaIdx[i][v]
+		if b == nil {
+			b = make(wmeSet)
+			rs.alphaIdx[i][v] = b
+		}
+		b[w] = struct{}{}
+	}
+}
+
+// alphaRemove removes w from the CE's alpha memory and its value index.
+func (rs *ruleState) alphaRemove(i int, w *wm.WME) {
+	delete(rs.alphas[i], w)
+	if j := rs.eqTest[i]; j >= 0 {
+		v := w.Fields[rs.rule.CEs[i].JoinTests[j].Field]
+		if b := rs.alphaIdx[i][v]; b != nil {
+			delete(b, w)
+			if len(b) == 0 {
+				delete(rs.alphaIdx[i], v)
+			}
+		}
+	}
+}
+
+// candidates returns the alpha-memory subset worth joining at CE i given
+// the bindings in vec: the index bucket for the joined value when the CE
+// is indexed, the whole memory otherwise. skip reports which join test the
+// bucket already guarantees (-1 when none).
+func (rs *ruleState) candidates(i int, vec []*wm.WME) (cands wmeSet, skip int) {
+	if j := rs.eqTest[i]; j >= 0 {
+		jt := &rs.rule.CEs[i].JoinTests[j]
+		return rs.alphaIdx[i][vec[jt.OtherCE].Fields[jt.OtherField]], j
+	}
+	return rs.alphas[i], -1
 }
 
 // Apply feeds a working-memory delta and returns conflict-set changes.
@@ -92,7 +175,7 @@ func (t *Treat) addInst(rs *ruleState, in *match.Instantiation) {
 	for _, w := range in.WMEs {
 		idx := t.byWME[w]
 		if idx == nil {
-			idx = make(map[string]*match.Instantiation)
+			idx = make(map[match.Key]*match.Instantiation)
 			t.byWME[w] = idx
 		}
 		idx[key] = in
@@ -134,7 +217,7 @@ func (t *Treat) addWME(w *wm.WME) {
 		matched := make([]int, 0, 4)
 		for i, ce := range rs.rule.CEs {
 			if ce.MatchesAlpha(w) {
-				rs.alphas[i][w] = struct{}{}
+				rs.alphaInsert(i, w)
 				matched = append(matched, i)
 			}
 		}
@@ -149,7 +232,7 @@ func (t *Treat) addWME(w *wm.WME) {
 				continue
 			}
 			for _, in := range instList(rs.insts) {
-				if negMatches(ce, w, in.WMEs) {
+				if negMatches(ce, w, in.WMEs, -1) {
 					t.dropInst(rs, in)
 				}
 			}
@@ -180,7 +263,7 @@ func (t *Treat) removeWME(w *wm.WME) {
 			if _, ok := rs.alphas[i][w]; !ok {
 				continue
 			}
-			delete(rs.alphas[i], w)
+			rs.alphaRemove(i, w)
 			if ce.Negated {
 				negHits = append(negHits, i)
 			}
@@ -194,7 +277,7 @@ func (t *Treat) removeWME(w *wm.WME) {
 
 // instList snapshots a map of instantiations so the caller can mutate the
 // map while iterating.
-func instList(m map[string]*match.Instantiation) []*match.Instantiation {
+func instList(m map[match.Key]*match.Instantiation) []*match.Instantiation {
 	out := make([]*match.Instantiation, 0, len(m))
 	for _, in := range m {
 		out = append(out, in)
@@ -204,9 +287,13 @@ func instList(m map[string]*match.Instantiation) []*match.Instantiation {
 
 // negMatches reports whether WME w satisfies the negated CE's join tests
 // against the positive vector vec (alpha tests are already guaranteed by
-// alpha membership).
-func negMatches(ce *compile.CondElem, w *wm.WME, vec []*wm.WME) bool {
-	for _, jt := range ce.JoinTests {
+// alpha membership). skip names a join test already guaranteed by an index
+// probe, or -1.
+func negMatches(ce *compile.CondElem, w *wm.WME, vec []*wm.WME, skip int) bool {
+	for i, jt := range ce.JoinTests {
+		if i == skip {
+			continue
+		}
 		if !jt.Op.Apply(w.Fields[jt.Field], vec[jt.OtherCE].Fields[jt.OtherField]) {
 			return false
 		}
@@ -237,23 +324,28 @@ func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, s
 	ce := rs.rule.CEs[ceIdx]
 	if ce.Negated {
 		// The negation must hold over the bindings established so far
-		// (all its join tests reference earlier positive CEs).
-		for w := range rs.alphas[ceIdx] {
-			if negMatches(ce, w, vec) {
+		// (all its join tests reference earlier positive CEs). Indexed
+		// CEs only need to check the bucket of the joined value.
+		cands, skip := rs.candidates(ceIdx, vec)
+		for w := range cands {
+			if negMatches(ce, w, vec, skip) {
 				return
 			}
 		}
 		// Removal-enablement: the removed WME must have been blocking this
 		// combination.
-		if ce == negSeed && !negMatches(ce, seed, vec) {
+		if ce == negSeed && !negMatches(ce, seed, vec, -1) {
 			return
 		}
 		t.joinFrom(rs, ceIdx+1, vec, seedPos, seed, negSeed)
 		return
 	}
 	p := ce.PosIndex
-	tryWME := func(w *wm.WME) {
-		for _, jt := range ce.JoinTests {
+	tryWME := func(w *wm.WME, skip int) {
+		for i, jt := range ce.JoinTests {
+			if i == skip {
+				continue
+			}
 			if !jt.Op.Apply(w.Fields[jt.Field], vec[jt.OtherCE].Fields[jt.OtherField]) {
 				return
 			}
@@ -265,14 +357,15 @@ func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, s
 		vec[p] = nil
 	}
 	if p == seedPos {
-		tryWME(seed)
+		tryWME(seed, -1)
 		return
 	}
-	for w := range rs.alphas[ceIdx] {
+	cands, skip := rs.candidates(ceIdx, vec)
+	for w := range cands {
 		if seedPos >= 0 && w == seed && p < seedPos {
 			continue // dedup: earlier positions exclude the seed
 		}
-		tryWME(w)
+		tryWME(w, skip)
 	}
 }
 

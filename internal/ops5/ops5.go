@@ -77,8 +77,8 @@ type Engine struct {
 	opts    Options
 	matcher match.Matcher
 
-	conflictSet map[string]*match.Instantiation
-	fired       map[string]bool
+	conflictSet map[match.Key]*match.Instantiation
+	fired       map[match.Key]bool
 	pending     wm.Delta
 	result      Result
 	halted      bool
@@ -97,8 +97,8 @@ func New(prog *compile.Program, opts Options) *Engine {
 		mem:         wm.NewMemory(prog.Schema),
 		opts:        opts,
 		matcher:     opts.Matcher(prog.Rules),
-		conflictSet: make(map[string]*match.Instantiation),
-		fired:       make(map[string]bool),
+		conflictSet: make(map[match.Key]*match.Instantiation),
+		fired:       make(map[match.Key]bool),
 		result:      Result{Stats: &stats.Run{}},
 	}
 	for _, f := range prog.Facts {
@@ -334,7 +334,7 @@ func (e *Engine) fire(in *match.Instantiation, cyc *stats.Cycle) (bool, error) {
 			}
 		case compile.ActBind:
 			if len(a.Exprs) == 0 {
-				ev.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.Key(), a.Local))
+				ev.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.KeyString(), a.Local))
 				continue
 			}
 			v, err := compile.Eval(a.Exprs[0], ev)

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"parulel/internal/wm"
 )
@@ -80,9 +81,17 @@ func (c *Circuit) Insert(ins Inserter) error {
 			return err
 		}
 	}
-	for id, val := range c.Inputs {
+	// Sorted by wire id: map order here would scramble time-tag
+	// assignment run to run, and under contention the commit phase's
+	// first-op-wins rule would then pick different conflict winners.
+	ids := make([]int64, 0, len(c.Inputs))
+	for id := range c.Inputs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		if _, err := ins.Insert("wire", map[string]wm.Value{
-			"id": wm.Int(id), "val": wm.Int(val),
+			"id": wm.Int(id), "val": wm.Int(c.Inputs[id]),
 		}); err != nil {
 			return err
 		}
