@@ -7,6 +7,7 @@
 //	parbench -quick           small sizes (seconds, for smoke tests)
 //	parbench -json            machine-readable suite run → BENCH_results.json
 //	parbench -json -out f     …written to f instead ("-" for stdout)
+//	parbench -durability      WAL fsync policy cost at the session write path
 //	parbench -cpuprofile f    write a pprof CPU profile of the run to f
 //	parbench -memprofile f    write a pprof heap profile at exit to f
 //
@@ -28,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
+	durability := flag.Bool("durability", false, "run the durability benchmark (WAL fsync policy comparison) instead of the experiment tables")
 	out := flag.String("out", "BENCH_results.json", "output path for -json (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -61,6 +63,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
 			}
 		}()
+	}
+
+	if *durability {
+		if err := bench.Durability(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: durability: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonOut {

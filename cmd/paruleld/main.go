@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"parulel/internal/server"
+	"parulel/internal/wal"
 )
 
 func main() {
@@ -34,10 +35,18 @@ func main() {
 	maxRunTimeout := flag.Duration("max-run-timeout", 5*time.Minute, "cap on client-requested run deadlines")
 	workers := flag.Int("workers", 4, "default match/fire workers per session engine")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight runs")
+	dataDir := flag.String("data-dir", "", "durability root: write-ahead logs + checkpoints under <dir>/sessions (empty = sessions are memory-only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint a session after this many WAL records")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "paruleld: ", log.LstdFlags)
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	cfg := server.Config{
 		MaxSessions:       *maxSessions,
 		IdleTTL:           *idleTTL,
@@ -45,11 +54,18 @@ func main() {
 		DefaultRunTimeout: *runTimeout,
 		MaxRunTimeout:     *maxRunTimeout,
 		DefaultWorkers:    *workers,
+		DataDir:           *dataDir,
+		Fsync:             policy,
+		FsyncInterval:     *fsyncInterval,
+		CheckpointEvery:   *checkpointEvery,
 	}
 	if !*quiet {
 		cfg.Log = logger
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

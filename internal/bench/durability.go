@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"parulel/internal/checkpoint"
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/wal"
+	"parulel/internal/wm"
+)
+
+// durabilitySrc is the session program the durability benchmark drives:
+// one rule that acknowledges each request, so every iteration's run fires
+// exactly once and the working memory grows by two facts.
+const durabilitySrc = `
+(literalize req id)
+(literalize ack id)
+(rule acknowledge
+  (req ^id <i>)
+  -(ack ^id <i>)
+-->
+  (make ack ^id <i>))
+`
+
+// durabilityPolicy is one measured configuration: a WAL fsync policy, or
+// "off" for the undurable baseline (no log at all).
+type durabilityPolicy struct {
+	name string
+	on   bool
+	pol  wal.Policy
+}
+
+// Durability (`parbench -durability`) measures what the durability layer
+// costs at the session write path: per iteration it asserts one fact,
+// runs the engine to quiescence, and logs the mutation + run boundary
+// the way paruleld does, checkpointing after every checkpointEvery
+// records. The table compares fsync policies against the memory-only
+// baseline — PolicyAlways pays one fsync per append, PolicyInterval
+// amortizes to a background ticker, PolicyNever leaves flushing to the
+// OS.
+func Durability(w io.Writer, quick bool) error {
+	iters, ckptEvery := 1500, 256
+	if quick {
+		iters, ckptEvery = 200, 64
+	}
+	prog, err := compile.CompileSource(durabilitySrc)
+	if err != nil {
+		return err
+	}
+	root, err := os.MkdirTemp("", "parbench-durability-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	fmt.Fprintf(w, "Durability — WAL fsync policy cost at the session write path (%d assert+run iterations, checkpoint every %d records)\n", iters, ckptEvery)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "fsync\twall\tops/sec\tslowdown\twal-bytes\tfsyncs\tcheckpoints")
+
+	policies := []durabilityPolicy{
+		{name: "off (memory-only)"},
+		{name: "never", on: true, pol: wal.PolicyNever},
+		{name: "interval", on: true, pol: wal.PolicyInterval},
+		{name: "always", on: true, pol: wal.PolicyAlways},
+	}
+	var base time.Duration
+	for pi, p := range policies {
+		dir := filepath.Join(root, fmt.Sprintf("p%d", pi))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		var walBytes, fsyncs, checkpoints int
+		var log *wal.Log
+		if p.on {
+			log, _, err = wal.Open(filepath.Join(dir, "wal.log"), wal.Options{
+				Policy:   p.pol,
+				OnAppend: func(n int) { walBytes += n },
+				OnFsync:  func(time.Duration) { fsyncs++ },
+			})
+			if err != nil {
+				return err
+			}
+		}
+		e := core.New(prog, core.Options{Workers: 1, MaxCycles: 1 << 20})
+		records := 0
+
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fields := map[string]wm.Value{"id": wm.Int(int64(i))}
+			if _, err := e.Insert("req", fields); err != nil {
+				return err
+			}
+			before := e.Counters()
+			res, err := e.Run()
+			if err != nil {
+				return err
+			}
+			if p.on {
+				if err := log.Append(&wal.Record{
+					Op:    wal.OpAssert,
+					Facts: []wal.Fact{{Template: "req", Fields: wal.EncodeFields(fields)}},
+				}); err != nil {
+					return err
+				}
+				if err := log.Append(&wal.Record{
+					Op:     wal.OpRun,
+					Cycles: res.Cycles - before.Cycles,
+					Halted: res.Halted,
+				}); err != nil {
+					return err
+				}
+				records += 2
+				if records >= ckptEvery {
+					if err := writeBenchCheckpoint(dir, log.Seq(), e); err != nil {
+						return err
+					}
+					if err := log.Reset(); err != nil {
+						return err
+					}
+					checkpoints++
+					records = 0
+				}
+			}
+		}
+		if p.on {
+			if err := log.Close(); err != nil {
+				return err
+			}
+		}
+		wall := time.Since(start)
+		if pi == 0 {
+			base = wall
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.0f\t%.2fx\t%d\t%d\t%d\n",
+			p.name, wall.Round(time.Microsecond),
+			float64(iters)/wall.Seconds(), float64(wall)/float64(base),
+			walBytes, fsyncs, checkpoints)
+	}
+	return tw.Flush()
+}
+
+// writeBenchCheckpoint persists a full engine image the way the server
+// does: write-to-temp, fsync, rename.
+func writeBenchCheckpoint(dir string, seq uint64, e *core.Engine) error {
+	h := checkpoint.Header{
+		Seq:      seq,
+		Program:  "durability-bench",
+		Source:   durabilitySrc,
+		Workers:  1,
+		Counters: e.Counters(),
+		Fired:    e.FiredKeys(),
+	}
+	tmp, err := os.CreateTemp(dir, "checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Write(tmp, h, e.Memory()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "checkpoint"))
+}

@@ -1,0 +1,35 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzCheckpointRead: recovery parses checkpoint files straight off disk;
+// arbitrary bytes must produce an error or a consistent (header, facts)
+// pair, never a panic.
+func FuzzCheckpointRead(f *testing.F) {
+	f.Add("")
+	f.Add("parulel-checkpoint v1 0 0\n")
+	f.Add("parulel-checkpoint v1 999 3\nabc")
+	f.Add("parulel-checkpoint v1 2851444033 18\n{\"tags\":[]}\n(wm\n)\n")
+	f.Add("parulel-checkpoint v1 -1 -1\n")
+	f.Add(strings.Repeat("(", 500))
+	// A genuine checkpoint as a seed.
+	e := buildEngine(f, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Program: "p", Source: src, Counters: e.Counters()}, e.Memory()); err == nil {
+		f.Add(buf.String())
+	}
+
+	f.Fuzz(func(t *testing.T, data string) {
+		h, facts, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(facts) != len(h.Tags) {
+			t.Fatalf("accepted checkpoint with %d facts but %d tags", len(facts), len(h.Tags))
+		}
+	})
+}

@@ -62,6 +62,10 @@ type Options struct {
 	// Partition selects how rules are distributed over workers (ablation
 	// E9). The choice changes only load balance, never results.
 	Partition Partition
+	// NoInitialFacts skips queueing the program's `(wm …)` facts. Set
+	// during checkpoint recovery, where the restored working memory
+	// already contains them (under their original time tags).
+	NoInitialFacts bool
 }
 
 // Partition is a rule-to-worker distribution strategy.
@@ -230,9 +234,11 @@ func New(prog *compile.Program, opts Options) *Engine {
 		// ConflictSet calls are well-defined.
 		e.workers = append(e.workers, &worker{matcher: opts.Matcher(nil)})
 	}
-	for _, f := range prog.Facts {
-		w := e.mem.InsertFields(f.Tmpl, append([]wm.Value(nil), f.Fields...))
-		e.pending.Added = append(e.pending.Added, w)
+	if !opts.NoInitialFacts {
+		for _, f := range prog.Facts {
+			w := e.mem.InsertFields(f.Tmpl, append([]wm.Value(nil), f.Fields...))
+			e.pending.Added = append(e.pending.Added, w)
+		}
 	}
 	return e
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"parulel/internal/compile"
+	"parulel/internal/snapshot"
+	"parulel/internal/wm"
+)
+
+// restoreSrc exercises everything restore must preserve: multi-CE joins
+// (refraction state), gensym (derived from time tags), and meta-rule
+// serialization (tag-order dependent).
+const restoreSrc = `
+(literalize item  n mark)
+(literalize seen  n id)
+(rule tag-item
+  (item ^n <n> ^mark nil)
+-->
+  (bind <g>)
+  (make seen ^n <n> ^id <g>))
+(rule mark-item
+  <i> <- (item ^n <n> ^mark nil)
+  (seen ^n <n>)
+-->
+  (modify <i> ^mark done))
+(rule note-done
+  (item ^n <n> ^mark done)
+-->
+  (make seen ^n (- 0 1) ^id noted))
+(metarule serialize
+  [<i> (mark-item)]
+  [<j> (mark-item)]
+  (test (precedes <i> <j>))
+-->
+  (redact <j>))
+`
+
+func compileRestore(t *testing.T) *compile.Program {
+	t.Helper()
+	prog, err := compile.CompileSource(restoreSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func insertItems(t *testing.T, e *Engine, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if _, err := e.Insert("item", map[string]wm.Value{"n": wm.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// transplant rebuilds an engine from another's replayable state, the way
+// checkpoint recovery does: fresh engine without initial facts, WMEs
+// restored under their original tags, then refraction keys and counters.
+func transplant(t *testing.T, src *Engine, prog *compile.Program, workers int) *Engine {
+	t.Helper()
+	dst := New(prog, Options{Workers: workers, NoInitialFacts: true})
+	for _, w := range src.Memory().Snapshot() {
+		fields := make(map[string]wm.Value, len(w.Fields))
+		for i, attr := range w.Tmpl.Attrs {
+			if !w.Fields[i].IsNil() {
+				fields[attr] = w.Fields[i]
+			}
+		}
+		if _, err := dst.RestoreWME(w.Tmpl.Name, fields, w.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst.RestoreFired(src.FiredKeys())
+	dst.RestoreCounters(src.Counters())
+	return dst
+}
+
+func snapshotText(t *testing.T, e *Engine) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := snapshot.Write(&b, e.Memory()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRestoreMidRunDeterministic pauses an engine between cycles,
+// transplants its state, and requires both copies to finish with
+// byte-identical snapshots and equal counters — including the gensym
+// values baked into `seen` facts, which only match if time tags and
+// refraction state were restored exactly.
+func TestRestoreMidRunDeterministic(t *testing.T) {
+	prog := compileRestore(t)
+	for _, pause := range []int{0, 1, 2, 3} {
+		orig := New(prog, Options{Workers: 2})
+		insertItems(t, orig, 0, 6)
+		for i := 0; i < pause; i++ {
+			if _, err := orig.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		restored := transplant(t, orig, prog, 3) // worker count may differ
+
+		if _, err := orig.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := snapshotText(t, orig), snapshotText(t, restored); a != b {
+			t.Fatalf("pause=%d: snapshots differ\n-- original --\n%s\n-- restored --\n%s", pause, a, b)
+		}
+		if a, b := orig.Counters(), restored.Counters(); a != b {
+			t.Fatalf("pause=%d: counters differ: %+v vs %+v", pause, a, b)
+		}
+	}
+}
+
+// TestRestoreRefractionPreventsRefire: without the restored fired set, a
+// quiescent engine would re-fire still-present instantiations after
+// recovery and diverge.
+func TestRestoreRefractionPreventsRefire(t *testing.T) {
+	prog := compileRestore(t)
+	orig := New(prog, Options{Workers: 1})
+	insertItems(t, orig, 0, 3)
+	res, err := orig.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings == 0 {
+		t.Fatal("workload fired nothing")
+	}
+
+	restored := transplant(t, orig, prog, 1)
+	res2, err := restored.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles || res2.Firings != res.Firings {
+		t.Fatalf("restored engine did extra work: %+v vs %+v", res2, res)
+	}
+
+	// Dropping the refraction set must be observable (the test would be
+	// vacuous if nothing in the conflict set had fired).
+	bad := New(prog, Options{Workers: 1, NoInitialFacts: true})
+	for _, w := range orig.Memory().Snapshot() {
+		fields := make(map[string]wm.Value, len(w.Fields))
+		for i, attr := range w.Tmpl.Attrs {
+			if !w.Fields[i].IsNil() {
+				fields[attr] = w.Fields[i]
+			}
+		}
+		if _, err := bad.RestoreWME(w.Tmpl.Name, fields, w.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad.RestoreCounters(orig.Counters())
+	res3, err := bad.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Firings == res.Firings {
+		t.Fatal("conflict set held no fired instantiations at quiescence; refraction restore untested")
+	}
+}
+
+// TestReplayStepsVerifiesCycleCount: ReplaySteps must notice when the
+// engine cannot commit as many cycles as the log recorded.
+func TestReplayStepsVerifiesCycleCount(t *testing.T) {
+	prog := compileRestore(t)
+	e := New(prog, Options{Workers: 1})
+	insertItems(t, e, 0, 2)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := New(prog, Options{Workers: 1})
+	insertItems(t, replayed, 0, 2)
+	if err := replayed.ReplaySteps(res.Cycles); err != nil {
+		t.Fatalf("faithful replay failed: %v", err)
+	}
+	// The engine is quiescent now; demanding one more cycle must error.
+	if err := replayed.ReplaySteps(1); err == nil {
+		t.Fatal("over-replay should report divergence")
+	}
+}

@@ -192,6 +192,7 @@ type sessionInfo struct {
 	Firings    int    `json:"firings"`
 	Redactions int    `json:"redactions"`
 	Busy       bool   `json:"busy"`
+	Durable    bool   `json:"durable,omitempty"`
 }
 
 // assertRequest inserts facts into a session's working memory.

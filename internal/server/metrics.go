@@ -29,6 +29,22 @@ type collector struct {
 	// Run/session counters.
 	runsStarted, runsCompleted, runTimeouts, runsCanceled, runErrors   uint64
 	sessionsCreated, sessionsEvicted, sessionsExpired, sessionsDeleted uint64
+
+	// Durability counters; durEnabled gates the payload section.
+	durEnabled         bool
+	foundOnBoot        int
+	walRecords         uint64
+	walBytes           uint64
+	fsyncs             uint64
+	fsyncTotal         time.Duration
+	fsyncHist          *stats.Hist
+	checkpoints        uint64
+	checkpointErrors   uint64
+	checkpointTotal    time.Duration
+	sessionsRehydrated uint64
+	recoveryFailures   uint64
+	walTruncations     uint64
+	walTruncatedBytes  uint64
 }
 
 // metricsWindow is the default number of cycle records retained for
@@ -38,7 +54,7 @@ const metricsWindow = 65536
 var phaseNames = [4]string{"match", "redact", "fire", "apply"}
 
 func newCollector() *collector {
-	c := &collector{windowCap: metricsWindow}
+	c := &collector{windowCap: metricsWindow, fsyncHist: stats.NewHist()}
 	for i := range c.hists {
 		c.hists[i] = stats.NewHist()
 	}
@@ -86,6 +102,51 @@ func (c *collector) bump(f *uint64) {
 	c.mu.Unlock()
 }
 
+// Durability observations. walAppend and fsyncObserved are handed to
+// wal.Options as callbacks; the rest are called by the store glue.
+func (c *collector) enableDurability(foundOnBoot int) {
+	c.mu.Lock()
+	c.durEnabled = true
+	c.foundOnBoot = foundOnBoot
+	c.mu.Unlock()
+}
+
+func (c *collector) walAppend(n int) {
+	c.mu.Lock()
+	c.walRecords++
+	c.walBytes += uint64(n)
+	c.mu.Unlock()
+}
+
+func (c *collector) fsyncObserved(d time.Duration) {
+	c.mu.Lock()
+	c.fsyncs++
+	c.fsyncTotal += d
+	c.fsyncHist.Observe(d)
+	c.mu.Unlock()
+}
+
+func (c *collector) checkpointDone(d time.Duration, err error) {
+	c.mu.Lock()
+	if err != nil {
+		c.checkpointErrors++
+	} else {
+		c.checkpoints++
+		c.checkpointTotal += d
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) sessionRehydrated() { c.bump(&c.sessionsRehydrated) }
+func (c *collector) recoveryFailed()    { c.bump(&c.recoveryFailures) }
+
+func (c *collector) walTruncated(n int64) {
+	c.mu.Lock()
+	c.walTruncations++
+	c.walTruncatedBytes += uint64(n)
+	c.mu.Unlock()
+}
+
 // phasePayload is one phase's slice of the /metrics document.
 type phasePayload struct {
 	TotalNS   int64    `json:"total_ns"`
@@ -93,15 +154,37 @@ type phasePayload struct {
 	Hist      []uint64 `json:"hist"`
 }
 
+// durabilityPayload is the /metrics durability section, present only
+// when the server runs with a data directory.
+type durabilityPayload struct {
+	WALRecords     uint64 `json:"wal_records"`
+	WALBytes       uint64 `json:"wal_bytes"`
+	Fsyncs         uint64 `json:"fsyncs"`
+	FsyncTotalNS   int64  `json:"fsync_total_ns"`
+	FsyncHistCount uint64 `json:"fsync_hist_count"`
+	// FsyncHist buckets follow engine.hist_bounds_ns.
+	FsyncHist         []uint64 `json:"fsync_hist"`
+	Checkpoints       uint64   `json:"checkpoints"`
+	CheckpointErrors  uint64   `json:"checkpoint_errors"`
+	CheckpointTotalNS int64    `json:"checkpoint_total_ns"`
+	SessionsOnDisk    int      `json:"sessions_on_disk"`
+	FoundOnBoot       int      `json:"sessions_found_on_boot"`
+	Rehydrated        uint64   `json:"sessions_rehydrated"`
+	RecoveryFailures  uint64   `json:"recovery_failures"`
+	WALTruncations    uint64   `json:"wal_tail_truncations"`
+	WALTruncatedBytes uint64   `json:"wal_tail_truncated_bytes"`
+}
+
 // metricsPayload is the /metrics response body.
 type metricsPayload struct {
 	UptimeMS int64 `json:"uptime_ms"`
 	Sessions struct {
-		Live    int    `json:"live"`
-		Created uint64 `json:"created"`
-		Evicted uint64 `json:"evicted"`
-		Expired uint64 `json:"expired"`
-		Deleted uint64 `json:"deleted"`
+		Live      int    `json:"live"`
+		Created   uint64 `json:"created"`
+		Evicted   uint64 `json:"evicted"`
+		Expired   uint64 `json:"expired"`
+		Deleted   uint64 `json:"deleted"`
+		Recovered uint64 `json:"recovered"`
 	} `json:"sessions"`
 	Runs struct {
 		Started   uint64 `json:"started"`
@@ -121,11 +204,12 @@ type metricsPayload struct {
 		// Window holds percentiles over the newest cycle records.
 		Window stats.Summary `json:"window"`
 	} `json:"engine"`
+	Durability *durabilityPayload `json:"durability,omitempty"`
 }
 
-// snapshot renders the aggregate. live and active are sampled by the
-// caller under the server mutex.
-func (c *collector) snapshot(uptime time.Duration, live, active int) metricsPayload {
+// snapshot renders the aggregate. live, active and onDisk are sampled by
+// the caller under the relevant mutexes.
+func (c *collector) snapshot(uptime time.Duration, live, active, onDisk int) metricsPayload {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var p metricsPayload
@@ -135,6 +219,7 @@ func (c *collector) snapshot(uptime time.Duration, live, active int) metricsPayl
 	p.Sessions.Evicted = c.sessionsEvicted
 	p.Sessions.Expired = c.sessionsExpired
 	p.Sessions.Deleted = c.sessionsDeleted
+	p.Sessions.Recovered = c.sessionsRehydrated
 	p.Runs.Started = c.runsStarted
 	p.Runs.Completed = c.runsCompleted
 	p.Runs.Timeouts = c.runTimeouts
@@ -158,5 +243,24 @@ func (c *collector) snapshot(uptime time.Duration, live, active int) metricsPayl
 		}
 	}
 	p.Engine.Window = c.window.Summarize()
+	if c.durEnabled {
+		p.Durability = &durabilityPayload{
+			WALRecords:        c.walRecords,
+			WALBytes:          c.walBytes,
+			Fsyncs:            c.fsyncs,
+			FsyncTotalNS:      c.fsyncTotal.Nanoseconds(),
+			FsyncHistCount:    c.fsyncHist.Total(),
+			FsyncHist:         append([]uint64(nil), c.fsyncHist.Counts...),
+			Checkpoints:       c.checkpoints,
+			CheckpointErrors:  c.checkpointErrors,
+			CheckpointTotalNS: c.checkpointTotal.Nanoseconds(),
+			SessionsOnDisk:    onDisk,
+			FoundOnBoot:       c.foundOnBoot,
+			Rehydrated:        c.sessionsRehydrated,
+			RecoveryFailures:  c.recoveryFailures,
+			WALTruncations:    c.walTruncations,
+			WALTruncatedBytes: c.walTruncatedBytes,
+		}
+	}
 	return p
 }

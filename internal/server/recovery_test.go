@@ -1,0 +1,358 @@
+package server
+
+// Crash-recovery and rehydration coverage for the durability subsystem:
+// kill-and-restart over the same data directory, transparent rehydration
+// after LRU eviction, checkpoint-based recovery, torn-tail tolerance,
+// and replay of every mutation kind (assert, retract, run, import).
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parulel/internal/wal"
+	"parulel/internal/wm"
+)
+
+// recoverySrc claims tasks with a gensym id — the recovered working
+// memory is byte-identical only if replay reproduces the original time
+// tags exactly, since gensym values are derived from them.
+const recoverySrc = `
+(literalize task n state id)
+(literalize log n note)
+(rule claim
+  <t> <- (task ^n <n> ^state new)
+-->
+  (bind <g>)
+  (modify <t> ^state claimed ^id <g>)
+  (make log ^n <n> ^note claimed))
+`
+
+// startCrashable starts a server that the test will "crash": closing only
+// the httptest listener abandons the session pool without the drain path
+// that flushes and closes logs, like a process kill.
+func startCrashable(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewServer(s)
+}
+
+func assertTasks(t *testing.T, url string, from, to int) {
+	t.Helper()
+	var req assertRequest
+	for i := from; i < to; i++ {
+		req.Facts = append(req.Facts, factPayload{Template: "task", Fields: map[string]jsonValue{
+			"n":     {V: wm.Int(int64(i))},
+			"state": {V: wm.Sym("new")},
+		}})
+	}
+	if st := call(t, "POST", url+"/facts", req, nil); st != http.StatusOK {
+		t.Fatalf("assert: status %d", st)
+	}
+}
+
+func runSession(t *testing.T, url string) runResponse {
+	t.Helper()
+	var resp runResponse
+	if st := call(t, "POST", url+"/run", runRequest{}, &resp); st != http.StatusOK {
+		t.Fatalf("run: status %d", st)
+	}
+	return resp
+}
+
+func exportSnapshot(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot export: status %d: %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// driveSession applies the canonical mutation script: used both for the
+// session that gets killed and for the uninterrupted control.
+func driveSession(t *testing.T, url string) {
+	t.Helper()
+	assertTasks(t, url, 0, 4)
+	runSession(t, url)
+	if st := call(t, "POST", url+"/retract", retractRequest{
+		Template: "task",
+		Fields:   map[string]jsonValue{"n": {V: wm.Int(2)}},
+	}, nil); st != http.StatusOK {
+		t.Fatalf("retract: status %d", st)
+	}
+	assertTasks(t, url, 4, 6)
+	runSession(t, url)
+}
+
+func getInfo(t *testing.T, url string) sessionInfo {
+	t.Helper()
+	var info sessionInfo
+	if st := call(t, "GET", url, nil, &info); st != http.StatusOK {
+		t.Fatalf("get session: status %d", st)
+	}
+	return info
+}
+
+// TestRecoveryAfterRestart is the acceptance check: a session's working
+// memory, cycle count and firing count survive a kill-and-restart over
+// the same data directory byte-identically, and the recovered session
+// continues exactly like an uninterrupted control.
+func TestRecoveryAfterRestart(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways}
+
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	if !info.Durable {
+		t.Fatal("session not marked durable")
+	}
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+	driveSession(t, urlA)
+	wantSnap := exportSnapshot(t, urlA)
+	wantInfo := getInfo(t, urlA)
+	tsA.Close() // crash: no drain, no log close, no checkpoint
+
+	sB, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	gotInfo := getInfo(t, urlB) // transparently rehydrates
+	if gotInfo.Cycles != wantInfo.Cycles || gotInfo.Firings != wantInfo.Firings ||
+		gotInfo.Redactions != wantInfo.Redactions || gotInfo.Runs != wantInfo.Runs ||
+		gotInfo.WMSize != wantInfo.WMSize {
+		t.Fatalf("recovered counters differ:\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("recovered snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+
+	// The recovered session must evolve exactly like a control session
+	// that ran the same script without interruption.
+	control := createSession(t, tsB.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	controlURL := tsB.URL + "/api/v1/sessions/" + control.ID
+	driveSession(t, controlURL)
+	for _, u := range []string{urlB, controlURL} {
+		assertTasks(t, u, 6, 8)
+		runSession(t, u)
+	}
+	if a, b := exportSnapshot(t, urlB), exportSnapshot(t, controlURL); a != b {
+		t.Fatalf("post-recovery evolution diverged from control:\n-- recovered --\n%s\n-- control --\n%s", a, b)
+	}
+
+	var m metricsPayload
+	if st := call(t, "GET", tsB.URL+"/metrics", nil, &m); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Durability == nil {
+		t.Fatal("durability metrics missing")
+	}
+	if m.Durability.FoundOnBoot == 0 || m.Durability.Rehydrated == 0 || m.Sessions.Recovered == 0 {
+		t.Fatalf("recovery not reflected in metrics: %+v", *m.Durability)
+	}
+	_ = sB
+}
+
+// TestRecoveryAfterTimedOutRun: a run killed mid-flight by its deadline
+// commits a prefix of cycles; the logged cycle delta must replay to the
+// identical intermediate state.
+func TestRecoveryAfterTimedOutRun(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways}
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: spinnerSrc, Workers: 1})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+
+	var timedOut struct {
+		Result runResponse `json:"result"`
+	}
+	if st := call(t, "POST", urlA+"/run", runRequest{TimeoutMS: 150}, &timedOut); st != http.StatusGatewayTimeout {
+		t.Fatalf("run: status %d, want 504", st)
+	}
+	if timedOut.Result.Cycles == 0 {
+		t.Fatal("timed-out run committed no cycles; test is vacuous")
+	}
+	wantSnap := exportSnapshot(t, urlA)
+	tsA.Close()
+
+	_, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("mid-run state not recovered:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+}
+
+// TestEvictionRehydratesTransparently: with durability on, an LRU-evicted
+// session comes back from disk on its next request instead of 404/410.
+func TestEvictionRehydratesTransparently(t *testing.T) {
+	s, ts := newTestServer(t, Config{DataDir: t.TempDir(), MaxSessions: 1})
+	first := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc})
+	firstURL := ts.URL + "/api/v1/sessions/" + first.ID
+	driveSession(t, firstURL)
+	wantSnap := exportSnapshot(t, firstURL)
+
+	second := createSession(t, ts.URL, createSessionRequest{Source: boundedSrc}) // evicts first
+	s.mu.Lock()
+	_, firstLive := s.sessions[first.ID]
+	s.mu.Unlock()
+	if firstLive {
+		t.Fatal("first session not evicted")
+	}
+
+	if gotSnap := exportSnapshot(t, firstURL); gotSnap != wantSnap {
+		t.Fatalf("rehydrated snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+	// And the second session is itself recoverable after being displaced.
+	if run := runSession(t, ts.URL+"/api/v1/sessions/"+second.ID); run.Cycles == 0 {
+		t.Fatal("second session did not run after rehydration")
+	}
+
+	var m metricsPayload
+	if st := call(t, "GET", ts.URL+"/metrics", nil, &m); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Sessions.Evicted == 0 || m.Sessions.Recovered == 0 {
+		t.Fatalf("eviction/recovery not reflected in metrics: %+v", m.Sessions)
+	}
+}
+
+// TestCheckpointRecovery: with CheckpointEvery=1 every mutation triggers a
+// checkpoint and empties the log, so recovery runs almost entirely off
+// the checkpoint image (counters, tags, refraction set).
+func TestCheckpointRecovery(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways, CheckpointEvery: 1}
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+	driveSession(t, urlA)
+	wantSnap := exportSnapshot(t, urlA)
+	wantInfo := getInfo(t, urlA)
+
+	dir := filepath.Join(cfg.DataDir, "sessions", info.ID)
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint")); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not emptied by checkpoint (size %d, err %v)", fi.Size(), err)
+	}
+	var m metricsPayload
+	if st := call(t, "GET", tsA.URL+"/metrics", nil, &m); st != http.StatusOK || m.Durability == nil {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Durability.Checkpoints == 0 || m.Durability.CheckpointErrors != 0 {
+		t.Fatalf("checkpoints not reflected in metrics: %+v", *m.Durability)
+	}
+	tsA.Close()
+
+	_, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	gotInfo := getInfo(t, urlB)
+	if gotInfo.Cycles != wantInfo.Cycles || gotInfo.Firings != wantInfo.Firings || gotInfo.Runs != wantInfo.Runs {
+		t.Fatalf("checkpoint recovery counters differ:\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("checkpoint recovery snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+	// A recovered-from-checkpoint session must still accept new work.
+	assertTasks(t, urlB, 10, 12)
+	if run := runSession(t, urlB); run.Firings == 0 {
+		t.Fatal("recovered session fired nothing on new facts")
+	}
+}
+
+// TestTornTailRecovery: garbage appended to the log (a torn final write)
+// is cut off and the session recovers to the last valid record.
+func TestTornTailRecovery(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways}
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+	assertTasks(t, urlA, 0, 3)
+	runSession(t, urlA)
+	wantSnap := exportSnapshot(t, urlA)
+	tsA.Close()
+
+	logPath := filepath.Join(cfg.DataDir, "sessions", info.ID, "wal.log")
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x40\x00\x00\x00\xde\xad\xbe\xefgarbage tail from a torn write")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("torn-tail recovery snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+	var m metricsPayload
+	if st := call(t, "GET", tsB.URL+"/metrics", nil, &m); st != http.StatusOK || m.Durability == nil {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Durability.WALTruncations == 0 || m.Durability.WALTruncatedBytes == 0 {
+		t.Fatalf("torn tail not reflected in metrics: %+v", *m.Durability)
+	}
+}
+
+// TestImportReplay: snapshot imports are logged verbatim and replayed.
+func TestImportReplay(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways}
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+
+	imported := "(wm (task ^n 40 ^state new) (task ^n 41 ^state new))\n"
+	resp, err := http.Post(urlA+"/snapshot", "text/plain", strings.NewReader(imported))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import: status %d", resp.StatusCode)
+	}
+	runSession(t, urlA)
+	wantSnap := exportSnapshot(t, urlA)
+	tsA.Close()
+
+	_, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("import replay snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+}
+
+// TestDeleteRemovesDurableState: deleting a session (live or evicted)
+// removes its directory; after a restart it is gone for good.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir()}
+	_, ts := newTestServer(t, cfg)
+	info := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc})
+	url := ts.URL + "/api/v1/sessions/" + info.ID
+	if st := call(t, "DELETE", url, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete: status %d", st)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.DataDir, "sessions", info.ID)); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived deletion: %v", err)
+	}
+	if st := call(t, "GET", url, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", st)
+	}
+
+	_, ts2 := newTestServer(t, cfg)
+	if st := call(t, "GET", ts2.URL+"/api/v1/sessions/"+info.ID, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("deleted session recovered after restart: status %d", st)
+	}
+}

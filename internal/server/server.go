@@ -16,6 +16,7 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"encoding/json"
@@ -32,6 +33,8 @@ import (
 	"parulel/internal/core"
 	"parulel/internal/programs"
 	"parulel/internal/snapshot"
+	"parulel/internal/wal"
+	"parulel/internal/wm"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -62,6 +65,21 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxOutputBytes bounds captured `(write …)` output per run. Default 64 KiB.
 	MaxOutputBytes int
+	// DataDir enables the durability subsystem: every session gets a
+	// write-ahead log and periodic checkpoints under DataDir/sessions/<id>,
+	// and sessions are recovered from disk lazily — after a restart or an
+	// LRU eviction, the next request naming the session rebuilds it.
+	// Empty (the default) keeps sessions memory-only.
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage: wal.PolicyAlways
+	// (every append), wal.PolicyInterval (background flusher, the default)
+	// or wal.PolicyNever (the OS decides).
+	Fsync wal.Policy
+	// FsyncInterval is the flush period under wal.PolicyInterval. Default 100ms.
+	FsyncInterval time.Duration
+	// CheckpointEvery rewrites a session's checkpoint and empties its log
+	// after this many WAL records. Default 256.
+	CheckpointEvery int
 	// Log receives one line per notable event; nil means discard.
 	Log *log.Logger
 }
@@ -103,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 64 << 10
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 256
+	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
 	}
@@ -116,21 +137,25 @@ type Server struct {
 	runSem  chan struct{}
 	metrics *collector
 	start   time.Time
+	store   *store // nil when durability is disabled
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	lru      *list.List // front = most recently used; values are *session
-	nextID   uint64
-	draining bool
-	active   int           // runs currently executing (or waiting on runSem)
-	idle     chan struct{} // closed when draining && active == 0
+	mu          sync.Mutex
+	sessions    map[string]*session
+	rehydrating map[string]chan struct{} // in-flight recoveries, by session id
+	lru         *list.List               // front = most recently used; values are *session
+	nextID      uint64
+	draining    bool
+	active      int           // runs currently executing (or waiting on runSem)
+	idle        chan struct{} // closed when draining && active == 0
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 }
 
-// New builds a server and starts its expiry janitor. Call Close to stop it.
-func New(cfg Config) *Server {
+// New builds a server and starts its expiry janitor. Call Close to stop
+// it. The only error source is the durability store: when Config.DataDir
+// is set, its session directory must be creatable and scannable.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
@@ -139,14 +164,33 @@ func New(cfg Config) *Server {
 		metrics:     newCollector(),
 		start:       time.Now(),
 		sessions:    make(map[string]*session),
+		rehydrating: make(map[string]chan struct{}),
 		lru:         list.New(),
 		idle:        make(chan struct{}),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	if cfg.DataDir != "" {
+		walOpts := wal.Options{
+			Policy:   cfg.Fsync,
+			Interval: cfg.FsyncInterval,
+			OnAppend: s.metrics.walAppend,
+			OnFsync:  s.metrics.fsyncObserved,
+		}
+		st, maxID, err := openStore(cfg.DataDir, walOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.nextID = maxID // never reuse a recoverable session's id
+		s.metrics.enableDurability(st.count())
+		if n := st.count(); n > 0 {
+			cfg.Log.Printf("durability: %d recoverable session(s) under %s", n, cfg.DataDir)
+		}
+	}
 	s.routes()
 	go s.janitor()
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -186,9 +230,25 @@ func (s *Server) Close(ctx context.Context) error {
 	<-s.janitorDone
 	select {
 	case <-s.idle:
+		s.closeLogs()
 		return nil
 	case <-ctx.Done():
+		s.closeLogs()
 		return fmt.Errorf("server: drain interrupted with runs in flight: %w", ctx.Err())
+	}
+}
+
+// closeLogs flushes and closes every live session's log, so a graceful
+// shutdown leaves nothing in the page cache regardless of fsync policy.
+func (s *Server) closeLogs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		if sess.dur != nil {
+			if err := sess.dur.close(); err != nil {
+				s.cfg.Log.Printf("session %s: closing wal: %v", sess.id, err)
+			}
+		}
 	}
 }
 
@@ -222,55 +282,115 @@ func (s *Server) sweep(now time.Time) {
 		if !sess.busy() {
 			s.evictLocked(sess)
 			s.metrics.sessionExpired()
-			s.cfg.Log.Printf("session %s expired (idle %v)", sess.id, now.Sub(sess.lastUsed).Round(time.Millisecond))
+			s.cfg.Log.Printf("session %s expired (idle %v%s)", sess.id,
+				now.Sub(sess.lastUsed).Round(time.Millisecond), recoverableNote(sess))
 		}
 		e = prev
 	}
 }
 
-// evictLocked removes a session from the pool. Caller holds s.mu.
+// evictLocked removes a session from the pool, closing (but keeping) its
+// on-disk state so it can be rehydrated later. Caller holds s.mu.
 func (s *Server) evictLocked(sess *session) {
 	sess.closed.Store(true)
 	delete(s.sessions, sess.id)
 	s.lru.Remove(sess.elem)
 	sess.elem = nil
+	if sess.dur != nil {
+		if err := sess.dur.close(); err != nil {
+			s.cfg.Log.Printf("session %s: closing wal: %v", sess.id, err)
+		}
+	}
 }
 
-// lookup finds a session and marks it used. A nil return means the
-// response has been written.
+// recoverableNote annotates eviction log lines with the session's fate:
+// durable sessions rehydrate on next touch, memory-only ones are gone.
+func recoverableNote(sess *session) string {
+	if sess.dur != nil {
+		return "; recoverable on disk"
+	}
+	return "; state discarded"
+}
+
+// insertLocked adds sess to the pool, evicting LRU sessions to make room
+// while preferring idle ones; a pool full of busy sessions rejects the
+// insert rather than killing a running one. Caller holds s.mu.
+func (s *Server) insertLocked(sess *session) error {
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		victim := (*session)(nil)
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			if cand := e.Value.(*session); !cand.busy() {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			return errors.New("session pool full and all sessions busy")
+		}
+		s.evictLocked(victim)
+		s.metrics.sessionEvicted()
+		s.cfg.Log.Printf("session %s evicted (pool full%s)", victim.id, recoverableNote(victim))
+	}
+	sess.elem = s.lru.PushFront(sess)
+	s.sessions[sess.id] = sess
+	return nil
+}
+
+// lookup finds a session and marks it used, transparently rehydrating it
+// from disk when it was evicted or belongs to a previous process. A nil
+// return means the response has been written.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	if ok {
-		sess.lastUsed = time.Now()
-		s.lru.MoveToFront(sess.elem)
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		sess, ok := s.sessions[id]
+		if ok {
+			sess.lastUsed = time.Now()
+			s.lru.MoveToFront(sess.elem)
+		}
+		draining := s.draining
+		s.mu.Unlock()
+		if ok {
+			return sess
+		}
+		if s.store == nil || draining || attempt > 0 || !s.store.has(id) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+			return nil
+		}
+		if err := s.rehydrate(id); err != nil {
+			s.cfg.Log.Printf("session %s: recovery failed: %v", id, err)
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q (recovery failed: %v)", id, err))
+			return nil
+		}
 	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
-		return nil
-	}
-	return sess
 }
 
 // withSession acquires the session slot under the request context and runs
-// fn while holding it.
+// fn while holding it. A session evicted while the request waited for the
+// slot is looked up again once — with durability on, the re-lookup
+// rehydrates it instead of answering 410.
 func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(sess *session)) {
-	sess := s.lookup(w, r)
-	if sess == nil {
+	for attempt := 0; ; attempt++ {
+		sess := s.lookup(w, r)
+		if sess == nil {
+			return
+		}
+		if err := sess.acquire(r.Context()); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "session busy: "+err.Error())
+			return
+		}
+		if sess.closed.Load() {
+			sess.release()
+			if s.store != nil && attempt == 0 {
+				continue
+			}
+			writeError(w, http.StatusGone, "session was evicted")
+			return
+		}
+		defer sess.release()
+		fn(sess)
 		return
 	}
-	if err := sess.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "session busy: "+err.Error())
-		return
-	}
-	defer sess.release()
-	if sess.closed.Load() {
-		writeError(w, http.StatusGone, "session was evicted")
-		return
-	}
-	fn(sess)
 }
 
 // ---- handlers ----
@@ -287,7 +407,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	live, active := len(s.sessions), s.active
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start), live, active))
+	onDisk := 0
+	if s.store != nil {
+		onDisk = s.store.count()
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start), live, active, onDisk))
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -296,9 +420,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		prog *compile.Program
-		name string
-		err  error
+		prog   *compile.Program
+		name   string
+		source string // the resolved text, logged for recovery
+		err    error
 	)
 	switch {
 	case req.Program != "" && req.Source != "":
@@ -306,9 +431,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.Program != "":
 		name = req.Program
-		prog, err = programs.Load(req.Program)
+		source, err = programs.Source(req.Program)
+		if err == nil {
+			prog, err = compile.CompileSource(source)
+		}
 	case req.Source != "":
 		name = "uploaded"
+		source = req.Source
 		prog, err = compile.CompileSource(req.Source)
 	default:
 		writeError(w, http.StatusBadRequest, "one of program or source is required")
@@ -340,40 +469,42 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	id := "s" + strconv.FormatUint(s.nextID, 10)
 	s.mu.Unlock()
 
-	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, time.Now())
+	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, time.Now(), false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	s.mu.Lock()
-	// Make room: evict LRU sessions, preferring idle ones; a pool full of
-	// busy sessions rejects the create rather than killing a running one.
-	for len(s.sessions) >= s.cfg.MaxSessions {
-		victim := (*session)(nil)
-		for e := s.lru.Back(); e != nil; e = e.Prev() {
-			if cand := e.Value.(*session); !cand.busy() {
-				victim = cand
-				break
-			}
-		}
-		if victim == nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusServiceUnavailable, "session pool full and all sessions busy")
+	if s.store != nil {
+		dur, err := s.store.create(id, wal.Record{
+			Op: wal.OpCreate, Program: name, Source: source,
+			Workers: workers, Matcher: sess.matcher, MaxCycles: maxCycles,
+			CreatedNS: sess.created.UnixNano(),
+		})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "durability: "+err.Error())
 			return
 		}
-		s.evictLocked(victim)
-		s.metrics.sessionEvicted()
-		s.cfg.Log.Printf("session %s evicted (pool full)", victim.id)
+		sess.dur = dur
 	}
-	sess.elem = s.lru.PushFront(sess)
-	s.sessions[id] = sess
-	info := sess.info(sess.lastUsed)
-	s.mu.Unlock()
 
-	s.metrics.sessionCreated()
-	s.cfg.Log.Printf("session %s created (program=%s workers=%d matcher=%s)", id, name, workers, sess.matcher)
-	writeJSON(w, http.StatusCreated, info)
+	s.mu.Lock()
+	err = s.insertLocked(sess)
+	if err == nil {
+		info := sess.info(sess.lastUsed)
+		s.mu.Unlock()
+		s.metrics.sessionCreated()
+		s.cfg.Log.Printf("session %s created (program=%s workers=%d matcher=%s durable=%v)", id, name, workers, sess.matcher, sess.dur != nil)
+		writeJSON(w, http.StatusCreated, info)
+		return
+	}
+	s.mu.Unlock()
+	if sess.dur != nil {
+		sess.dur.close()
+		if rerr := s.store.remove(id); rerr != nil {
+			s.cfg.Log.Printf("session %s: removing data dir: %v", id, rerr)
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, err.Error())
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
@@ -406,7 +537,14 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		s.evictLocked(sess)
 	}
 	s.mu.Unlock()
-	if !ok {
+	// An evicted-but-recoverable session is deletable too: drop its files.
+	onDisk := s.store != nil && s.store.has(id)
+	if onDisk {
+		if err := s.store.remove(id); err != nil {
+			s.cfg.Log.Printf("session %s: removing data dir: %v", id, err)
+		}
+	}
+	if !ok && !onDisk {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 		return
 	}
@@ -422,12 +560,24 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	}
 	s.withSession(w, r, func(sess *session) {
 		n := 0
+		inserted := make([]wal.Fact, 0, len(req.Facts))
 		for _, f := range req.Facts {
-			if _, err := sess.eng.Insert(f.Template, toFields(f.Fields)); err != nil {
+			fields := toFields(f.Fields)
+			if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+				// The successfully inserted prefix is part of the session's
+				// history and must be logged even though the request fails.
+				if len(inserted) > 0 {
+					s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
+				}
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
 				return
 			}
+			inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields)})
 			n++
+		}
+		if len(inserted) > 0 && !s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted}) {
+			writeError(w, http.StatusInternalServerError, "facts asserted in memory but not durably logged")
+			return
 		}
 		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
 	})
@@ -443,10 +593,18 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.withSession(w, r, func(sess *session) {
-		n, err := sess.retractMatching(req.Template, toFields(req.Fields))
+		fields := toFields(req.Fields)
+		n, err := sess.retractMatching(req.Template, fields)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
+		}
+		if n > 0 {
+			rec := wal.Record{Op: wal.OpRetract, Template: req.Template, Fields: wal.EncodeFields(fields), Count: n}
+			if !s.persist(sess, &rec) {
+				writeError(w, http.StatusInternalServerError, "facts retracted in memory but not durably logged")
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
 	})
@@ -503,17 +661,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Per-session serialization.
-	if err := sess.acquire(ctx); err != nil {
-		s.metrics.runTimeout()
-		writeError(w, http.StatusGatewayTimeout, "timed out waiting for the session: "+err.Error())
-		return
+	// Per-session serialization. A session evicted while we waited is
+	// looked up once more, so durability can rehydrate it transparently.
+	for attempt := 0; ; attempt++ {
+		if err := sess.acquire(ctx); err != nil {
+			s.metrics.runTimeout()
+			writeError(w, http.StatusGatewayTimeout, "timed out waiting for the session: "+err.Error())
+			return
+		}
+		if !sess.closed.Load() {
+			break
+		}
+		sess.release()
+		if s.store == nil || attempt > 0 {
+			writeError(w, http.StatusGone, "session was evicted")
+			return
+		}
+		if sess = s.lookup(w, r); sess == nil {
+			return
+		}
 	}
 	defer sess.release()
-	if sess.closed.Load() {
-		writeError(w, http.StatusGone, "session was evicted")
-		return
-	}
 
 	func(sess *session) {
 		before := sess.lastResult
@@ -533,6 +701,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.metrics.observe(res.Stats.Cycles[prevStats:])
 			sess.statCycles = len(res.Stats.Cycles)
 		}
+
+		// Log the run boundary — the committed cycle delta, never wall
+		// clock — regardless of outcome: a timed-out or canceled run still
+		// advanced the engine by exactly that many committed cycles.
+		s.persist(sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
 
 		output, trunc := sess.out.take()
 		resp := runResponse{
@@ -621,13 +794,54 @@ func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSnapshotImport(w http.ResponseWriter, r *http.Request) {
 	s.withSession(w, r, func(sess *session) {
-		n, err := snapshot.Read(r.Body, sess.eng)
+		// Parse into a staging list first: an insert that fails halfway
+		// must not leave working memory holding facts the log never saw.
+		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		var st stager
+		if _, err := snapshot.Read(bytes.NewReader(body), &st); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		n := 0
+		inserted := make([]wal.Fact, 0, len(st.facts))
+		for _, f := range st.facts {
+			if _, err := sess.eng.Insert(f.template, f.fields); err != nil {
+				if len(inserted) > 0 {
+					s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
+				}
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
+				return
+			}
+			inserted = append(inserted, wal.Fact{Template: f.template, Fields: wal.EncodeFields(f.fields)})
+			n++
+		}
+		if n > 0 && !s.persist(sess, &wal.Record{Op: wal.OpImport, Text: string(body), Count: n}) {
+			writeError(w, http.StatusInternalServerError, "facts imported in memory but not durably logged")
+			return
+		}
 		writeJSON(w, http.StatusOK, countResponse{Count: n, WMSize: sess.eng.Memory().Len()})
 	})
+}
+
+// stager implements snapshot.Inserter by collecting parsed facts without
+// touching working memory.
+type stager struct {
+	facts []struct {
+		template string
+		fields   map[string]wm.Value
+	}
+}
+
+func (st *stager) Insert(template string, fields map[string]wm.Value) (*wm.WME, error) {
+	st.facts = append(st.facts, struct {
+		template string
+		fields   map[string]wm.Value
+	}{template, fields})
+	return nil, nil
 }
 
 // ---- plumbing ----

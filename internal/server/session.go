@@ -28,6 +28,10 @@ type session struct {
 	out     *capWriter
 	created time.Time
 
+	// dur is the session's durability handle; nil when the server runs
+	// without a data directory.
+	dur *durable
+
 	// slot serializes engine use; closed marks an evicted/expired/deleted
 	// session (checked after acquiring slot, since a waiter may win the
 	// slot only after eviction).
@@ -87,12 +91,15 @@ func (s *session) info(lastUsed time.Time) sessionInfo {
 		Firings:    res.Firings,
 		Redactions: res.Redactions,
 		Busy:       s.busy(),
+		Durable:    s.dur != nil,
 	}
 }
 
 // newSession compiles nothing — it wraps an already compiled program in a
-// fresh engine with a capped output buffer.
-func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap int, now time.Time) (*session, error) {
+// fresh engine with a capped output buffer. restore skips the program's
+// initial facts: a checkpointed working memory already contains them
+// under their original time tags.
+func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap int, now time.Time, restore bool) (*session, error) {
 	var factory match.Factory
 	switch matcherName {
 	case "", "rete":
@@ -104,10 +111,11 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 	}
 	out := &capWriter{limit: outputCap}
 	eng := core.New(prog, core.Options{
-		Workers:   workers,
-		Matcher:   factory,
-		Output:    out,
-		MaxCycles: maxCycles,
+		Workers:        workers,
+		Matcher:        factory,
+		Output:         out,
+		MaxCycles:      maxCycles,
+		NoInitialFacts: restore,
 	})
 	return &session{
 		id:       id,

@@ -1,0 +1,479 @@
+package server
+
+// This file is the durability layer's server glue. When Config.DataDir is
+// set, every session owns a directory <DataDir>/sessions/<id> holding a
+// write-ahead log (wal.log) and the newest checkpoint (checkpoint). The
+// log records the session's externally visible history — creation,
+// asserts, retracts, snapshot imports, and the committed extent of every
+// run — and the engine's determinism makes replaying it reproduce the
+// session exactly (see internal/wal and DESIGN.md). Checkpoints bound
+// replay time: every CheckpointEvery records the full state image is
+// rewritten atomically and the log emptied.
+//
+// Recovery is lazy: a boot-time scan only records which session ids exist
+// on disk; a session is rebuilt (checkpoint + log tail) the first time a
+// request names it — whether the miss comes from a process restart or
+// from LRU eviction, which closes the log but keeps the files.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parulel/internal/checkpoint"
+	"parulel/internal/compile"
+	"parulel/internal/snapshot"
+	"parulel/internal/wal"
+	"parulel/internal/wm"
+)
+
+// File names inside a session directory.
+const (
+	walFile        = "wal.log"
+	checkpointFile = "checkpoint"
+)
+
+// store tracks the on-disk session directories under <DataDir>/sessions.
+type store struct {
+	root    string
+	walOpts wal.Options
+
+	mu    sync.Mutex
+	known map[string]bool // session ids with an on-disk directory
+}
+
+// openStore scans an existing data directory, returning the store and the
+// largest numeric session id found, so freshly minted ids never collide
+// with recoverable ones.
+func openStore(dataDir string, walOpts wal.Options) (*store, uint64, error) {
+	root := filepath.Join(dataDir, "sessions")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("durability: %w", err)
+	}
+	st := &store{root: root, walOpts: walOpts, known: make(map[string]bool)}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, 0, fmt.Errorf("durability: %w", err)
+	}
+	var maxID uint64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		st.known[id] = true
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	return st, maxID, nil
+}
+
+func (st *store) has(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.known[id]
+}
+
+func (st *store) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.known)
+}
+
+func (st *store) dir(id string) string { return filepath.Join(st.root, id) }
+
+// create makes the session directory and its log and writes the OpCreate
+// record. Under wal.PolicyAlways the record is durable on return.
+func (st *store) create(id string, meta wal.Record) (*durable, error) {
+	dir := st.dir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l, _, err := wal.Open(filepath.Join(dir, walFile), st.walOpts)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Append(&meta); err != nil {
+		l.Close()
+		return nil, err
+	}
+	st.mu.Lock()
+	st.known[id] = true
+	st.mu.Unlock()
+	return &durable{st: st, id: id, dir: dir, log: l, meta: meta}, nil
+}
+
+// remove deletes a session's on-disk state.
+func (st *store) remove(id string) error {
+	st.mu.Lock()
+	delete(st.known, id)
+	st.mu.Unlock()
+	return os.RemoveAll(st.dir(id))
+}
+
+// durable is a live session's handle on its on-disk state. It carries its
+// own mutex because appends run under the session slot while eviction,
+// deletion and drain run under the server mutex.
+type durable struct {
+	st   *store
+	id   string
+	dir  string
+	meta wal.Record // the OpCreate record; reused for checkpoint headers
+
+	mu      sync.Mutex
+	log     *wal.Log
+	closed  bool
+	failed  bool // a mutation could not be made durable; appends are refused
+	records int  // log records appended since the last checkpoint
+}
+
+func (d *durable) append(rec *wal.Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.closed:
+		return errors.New("log is closed")
+	case d.failed:
+		return errors.New("durability disabled after an earlier failure")
+	}
+	if err := d.log.Append(rec); err != nil {
+		return err
+	}
+	d.records++
+	return nil
+}
+
+// due reports whether enough records accumulated to warrant a checkpoint.
+func (d *durable) due(every int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.closed && !d.failed && d.records >= every
+}
+
+// checkpoint atomically replaces the on-disk checkpoint (write to a temp
+// file, fsync, rename, fsync the directory) and then empties the log it
+// covers. The sequence numbering survives the log reset, so a crash
+// between the rename and the truncation is harmless: recovery skips log
+// records at or below the checkpoint's sequence point. The caller holds
+// the session slot, since the engine is read while writing.
+func (d *durable) checkpoint(h checkpoint.Header, mem *wm.Memory) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("log is closed")
+	}
+	tmp := filepath.Join(d.dir, checkpointFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = checkpoint.Write(f, h, mem)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(d.dir, checkpointFile))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	if err := d.log.Reset(); err != nil {
+		return err
+	}
+	d.records = 0
+	return nil
+}
+
+func (d *durable) markFailed() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+// close flushes and closes the log, leaving the files on disk for later
+// rehydration. Idempotent.
+func (d *durable) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
+
+// checkpointSession writes a checkpoint for sess and truncates its log.
+// Failure keeps the log intact — recovery still works, it just replays
+// more — and is reported to the caller. Caller holds the session slot.
+func (s *Server) checkpointSession(sess *session) error {
+	d := sess.dur
+	h := checkpoint.Header{
+		Seq:       d.log.Seq(),
+		Program:   d.meta.Program,
+		Source:    d.meta.Source,
+		Workers:   d.meta.Workers,
+		Matcher:   d.meta.Matcher,
+		MaxCycles: d.meta.MaxCycles,
+		CreatedNS: d.meta.CreatedNS,
+		Runs:      sess.runs,
+		Counters:  sess.eng.Counters(),
+		Fired:     sess.eng.FiredKeys(),
+	}
+	t0 := time.Now()
+	err := d.checkpoint(h, sess.eng.Memory())
+	s.metrics.checkpointDone(time.Since(t0), err)
+	if err != nil {
+		s.cfg.Log.Printf("session %s checkpoint failed (log retained): %v", sess.id, err)
+	}
+	return err
+}
+
+// persist logs one mutation record for sess, checkpointing when due. On
+// append failure it attempts an immediate checkpoint — a full state image
+// supersedes the lost record — and only if that also fails is the
+// session's durability marked broken. A false return means the mutation
+// is applied in memory but not on disk.
+func (s *Server) persist(sess *session, rec *wal.Record) bool {
+	d := sess.dur
+	if d == nil {
+		return true
+	}
+	err := d.append(rec)
+	if err == nil {
+		if d.due(s.cfg.CheckpointEvery) {
+			_ = s.checkpointSession(sess) // failure retains the log; nothing is lost
+		}
+		return true
+	}
+	s.cfg.Log.Printf("session %s: wal append failed: %v", sess.id, err)
+	if cerr := s.checkpointSession(sess); cerr != nil {
+		d.markFailed()
+		s.cfg.Log.Printf("session %s: durability disabled (append and checkpoint both failed)", sess.id)
+		return false
+	}
+	return true
+}
+
+// rehydrate rebuilds session id from its on-disk state and inserts it
+// into the pool. Concurrent requests for the same id collapse onto one
+// rebuild; every caller re-checks the pool afterwards.
+func (s *Server) rehydrate(id string) error {
+	s.mu.Lock()
+	if _, ok := s.sessions[id]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	if ch, ok := s.rehydrating[id]; ok {
+		s.mu.Unlock()
+		<-ch // another request is rebuilding it; wait and re-check
+		return nil
+	}
+	ch := make(chan struct{})
+	s.rehydrating[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.rehydrating, id)
+		s.mu.Unlock()
+		close(ch)
+	}()
+
+	sess, err := s.loadSession(id)
+	if err != nil {
+		s.metrics.recoveryFailed()
+		return err
+	}
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		err = errors.New("server is draining")
+	case !s.store.has(id): // deleted while loading
+		err = errors.New("session was deleted")
+	default:
+		err = s.insertLocked(sess)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		sess.dur.close()
+		return err
+	}
+	s.metrics.sessionRehydrated()
+	s.cfg.Log.Printf("session %s rehydrated (program=%s wm=%d runs=%d cycles=%d)",
+		id, sess.program, sess.eng.Memory().Len(), sess.runs, sess.lastResult.Cycles)
+	return nil
+}
+
+// loadSession rebuilds one session: newest valid checkpoint (if any) plus
+// replay of the log records behind it. A corrupt checkpoint is ignored —
+// the log alone reproduces the session when it has never been truncated
+// by an earlier checkpoint; otherwise recovery fails.
+func (s *Server) loadSession(id string) (*session, error) {
+	dir := s.store.dir(id)
+
+	var (
+		h        checkpoint.Header
+		facts    []checkpoint.Fact
+		haveCkpt bool
+	)
+	if f, err := os.Open(filepath.Join(dir, checkpointFile)); err == nil {
+		h, facts, err = checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			s.cfg.Log.Printf("session %s: ignoring unreadable checkpoint: %v", id, err)
+		} else {
+			haveCkpt = true
+		}
+	}
+
+	l, scanRes, err := wal.Open(filepath.Join(dir, walFile), s.store.walOpts)
+	if err != nil {
+		return nil, fmt.Errorf("opening wal: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			l.Close()
+		}
+	}()
+	if scanRes.TruncatedBytes > 0 {
+		s.metrics.walTruncated(scanRes.TruncatedBytes)
+		s.cfg.Log.Printf("session %s: dropped %d bytes of torn wal tail", id, scanRes.TruncatedBytes)
+	}
+
+	var meta wal.Record
+	switch {
+	case haveCkpt:
+		meta = wal.Record{
+			Op: wal.OpCreate, Program: h.Program, Source: h.Source,
+			Workers: h.Workers, Matcher: h.Matcher, MaxCycles: h.MaxCycles,
+			CreatedNS: h.CreatedNS,
+		}
+	case len(scanRes.Records) > 0 && scanRes.Records[0].Op == wal.OpCreate:
+		meta = scanRes.Records[0]
+	default:
+		return nil, errors.New("no checkpoint and no create record")
+	}
+
+	prog, err := compile.CompileSource(meta.Source)
+	if err != nil {
+		return nil, fmt.Errorf("recompiling program: %w", err)
+	}
+	created := time.Now()
+	if meta.CreatedNS != 0 {
+		created = time.Unix(0, meta.CreatedNS)
+	}
+	// A checkpointed WM already contains the program's initial facts under
+	// their original tags; log-only recovery replants them exactly as the
+	// original creation did.
+	sess, err := newSession(id, meta.Program, prog, meta.Workers, meta.Matcher,
+		meta.MaxCycles, s.cfg.MaxOutputBytes, created, haveCkpt)
+	if err != nil {
+		return nil, err
+	}
+	if haveCkpt {
+		if err := checkpoint.Restore(sess.eng, h, facts); err != nil {
+			return nil, err
+		}
+		sess.runs = h.Runs
+	}
+
+	replayed := 0
+	for _, rec := range scanRes.Records {
+		if haveCkpt && rec.Seq <= h.Seq {
+			continue // already folded into the checkpoint
+		}
+		if err := replay(sess, &rec); err != nil {
+			return nil, fmt.Errorf("replaying record %d (%s): %w", rec.Seq, rec.Op, err)
+		}
+		if rec.Op != wal.OpCreate {
+			replayed++
+		}
+	}
+	sess.out.take() // replayed `(write …)` output belongs to no request
+	sess.lastResult = sess.eng.CurrentResult()
+	if sess.lastResult.Stats != nil {
+		// Replay-produced cycle records must not be folded into /metrics.
+		sess.statCycles = len(sess.lastResult.Stats.Cycles)
+	}
+	sess.dur = &durable{st: s.store, id: id, dir: dir, log: l, meta: meta, records: replayed}
+	ok = true
+	return sess, nil
+}
+
+// replay applies one log record to a recovering session. Count-bearing
+// records double as integrity checks: a replayed retract or import that
+// touches a different number of facts means the log does not describe
+// this state, and recovery fails rather than serving a diverged session.
+func replay(sess *session, rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpCreate:
+		return nil // consumed as session metadata
+	case wal.OpAssert:
+		for i, f := range rec.Facts {
+			fields, err := wal.DecodeFields(f.Fields)
+			if err != nil {
+				return err
+			}
+			if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+				return fmt.Errorf("fact %d: %w", i, err)
+			}
+		}
+		return nil
+	case wal.OpRetract:
+		fields, err := wal.DecodeFields(rec.Fields)
+		if err != nil {
+			return err
+		}
+		n, err := sess.retractMatching(rec.Template, fields)
+		if err != nil {
+			return err
+		}
+		if n != rec.Count {
+			return fmt.Errorf("retracted %d facts, log recorded %d", n, rec.Count)
+		}
+		return nil
+	case wal.OpRun:
+		if err := sess.eng.ReplaySteps(rec.Cycles); err != nil {
+			return err
+		}
+		if halted := sess.eng.Counters().Halted; halted != rec.Halted {
+			return fmt.Errorf("replay diverged: halted=%v, log recorded %v", halted, rec.Halted)
+		}
+		sess.runs++
+		return nil
+	case wal.OpImport:
+		n, err := snapshot.Read(strings.NewReader(rec.Text), sess.eng)
+		if err != nil {
+			return err
+		}
+		if n != rec.Count {
+			return fmt.Errorf("imported %d facts, log recorded %d", n, rec.Count)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}

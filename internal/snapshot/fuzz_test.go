@@ -1,0 +1,50 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+
+	"parulel/internal/wm"
+)
+
+// FuzzSnapshotRead: recovery and the HTTP import endpoint feed untrusted
+// bytes to Read. Truncation and garbage must come back as errors, never
+// as panics, and accepted input must insert exactly the reported number
+// of facts.
+func FuzzSnapshotRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"(wm)",
+		"(wm (a ^x 1))",
+		"(wm (a ^x 1 ^y sym) (a ^y \"str\") (b))",
+		"(literalize a x y)\n(wm (a ^x 1))",
+		"(wm (unknown ^x 1))",
+		"(wm (a ^nope 1))",
+		"(wm (a ^x",
+		"(rule r (a ^x 1) --> (halt))",
+		"(wm (a ^x 1.5e300) (a ^x -0.0))",
+		strings.Repeat("(wm ", 200),
+		"(wm (a ^x << 1 2 >>))",
+		"\x00\xff(wm",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		schema := wm.NewSchema()
+		if _, err := schema.Declare("a", "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := schema.Declare("b", "z"); err != nil {
+			t.Fatal(err)
+		}
+		mem := wm.NewMemory(schema)
+		n, err := Read(strings.NewReader(src), mem)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if n != mem.Len() {
+			t.Fatalf("Read reported %d facts, memory holds %d", n, mem.Len())
+		}
+	})
+}

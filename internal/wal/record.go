@@ -1,0 +1,157 @@
+// Package wal implements the per-session write-ahead log behind
+// paruleld's durability layer. A log is a flat file of framed,
+// CRC32-checksummed records describing a session's externally visible
+// history: its creation, every fact assertion and retraction, every
+// snapshot import, and the committed extent of every run. Because the
+// PARULEL engine is deterministic for a fixed program and mutation
+// history (time tags, conflict resolution and gensym values all derive
+// from deterministic instantiation order — see DESIGN.md), replaying a
+// log against a fresh engine reconstructs bit-identical session state;
+// the log therefore records *logical* operations, never working-memory
+// bytes.
+//
+// Recovery tolerates torn writes: scanning stops at the first frame that
+// is truncated, fails its checksum, or does not decode, and the file is
+// truncated back to the last valid record. Everything before that point
+// is trusted; everything after is the write that was in flight when the
+// process died.
+package wal
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"parulel/internal/wm"
+)
+
+// Record operations. A log begins with exactly one OpCreate record;
+// every later record is a mutation or run boundary.
+const (
+	// OpCreate opens a session: program identity, compiled source,
+	// worker count, matcher and cycle cap.
+	OpCreate = "create"
+	// OpAssert inserts Facts (in order) into working memory.
+	OpAssert = "assert"
+	// OpRetract removes every live WME of Template whose fields equal
+	// Fields; Count is the number removed, verified on replay.
+	OpRetract = "retract"
+	// OpRun marks a run boundary: Cycles engine cycles committed (the
+	// per-run delta, not the cumulative count) and whether the program
+	// halted. Replay re-executes exactly that many cycles.
+	OpRun = "run"
+	// OpImport inserts the facts of a `(wm …)` snapshot given verbatim
+	// in Text.
+	OpImport = "import"
+)
+
+// Record is one logged operation. Exactly the fields relevant to Op are
+// populated; the rest stay at their zero values and are elided from the
+// JSON payload.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+
+	// OpCreate.
+	Program   string `json:"program,omitempty"`
+	Source    string `json:"source,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	Matcher   string `json:"matcher,omitempty"`
+	MaxCycles int    `json:"max_cycles,omitempty"`
+	CreatedNS int64  `json:"created_ns,omitempty"`
+
+	// OpAssert.
+	Facts []Fact `json:"facts,omitempty"`
+
+	// OpRetract.
+	Template string           `json:"template,omitempty"`
+	Fields   map[string]Value `json:"fields,omitempty"`
+	Count    int              `json:"count,omitempty"`
+
+	// OpRun.
+	Cycles int  `json:"cycles,omitempty"`
+	Halted bool `json:"halted,omitempty"`
+
+	// OpImport.
+	Text string `json:"text,omitempty"`
+}
+
+// Fact is one asserted working-memory element.
+type Fact struct {
+	Template string           `json:"template"`
+	Fields   map[string]Value `json:"fields,omitempty"`
+}
+
+// Value is the log's exact encoding of a wm.Value. Floats are stored as
+// their IEEE-754 bit pattern so every value — including ones whose
+// decimal rendering would lose precision or has no literal form (NaN,
+// ±Inf) — survives a round trip byte-identically.
+type Value struct {
+	K string `json:"k"`           // "n" nil, "i" int, "f" float, "s" symbol, "t" string
+	I int64  `json:"i,omitempty"` // KindInt payload
+	F string `json:"f,omitempty"` // KindFloat payload: Float64bits, decimal
+	S string `json:"s,omitempty"` // KindSym / KindStr payload
+}
+
+// EncodeValue converts a wm.Value into its log form.
+func EncodeValue(v wm.Value) Value {
+	switch v.Kind {
+	case wm.KindInt:
+		return Value{K: "i", I: v.I}
+	case wm.KindFloat:
+		return Value{K: "f", F: strconv.FormatUint(math.Float64bits(v.F), 10)}
+	case wm.KindSym:
+		return Value{K: "s", S: v.S}
+	case wm.KindStr:
+		return Value{K: "t", S: v.S}
+	default:
+		return Value{K: "n"}
+	}
+}
+
+// DecodeValue converts a logged value back into a wm.Value.
+func DecodeValue(v Value) (wm.Value, error) {
+	switch v.K {
+	case "n":
+		return wm.Nil(), nil
+	case "i":
+		return wm.Int(v.I), nil
+	case "f":
+		bits, err := strconv.ParseUint(v.F, 10, 64)
+		if err != nil {
+			return wm.Value{}, fmt.Errorf("wal: bad float bits %q: %w", v.F, err)
+		}
+		return wm.Float(math.Float64frombits(bits)), nil
+	case "s":
+		return wm.Sym(v.S), nil
+	case "t":
+		return wm.Str(v.S), nil
+	default:
+		return wm.Value{}, fmt.Errorf("wal: unknown value kind %q", v.K)
+	}
+}
+
+// EncodeFields converts an attribute→value map into log form.
+func EncodeFields(fields map[string]wm.Value) map[string]Value {
+	if fields == nil {
+		return nil
+	}
+	out := make(map[string]Value, len(fields))
+	for k, v := range fields {
+		out[k] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeFields converts a logged field map back into engine form.
+func DecodeFields(fields map[string]Value) (map[string]wm.Value, error) {
+	out := make(map[string]wm.Value, len(fields))
+	for k, v := range fields {
+		dv, err := DecodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("wal: field %s: %w", k, err)
+		}
+		out[k] = dv
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Frame layout: [payload length, uint32 LE][CRC32 (IEEE) of payload,
+// uint32 LE][payload JSON]. The length comes first so a scan can skip to
+// the checksum cheaply; both header fields are covered implicitly — a
+// corrupt length either fails the read or yields a payload that fails
+// the checksum.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record. Anything larger in a scanned
+// file is treated as corruption rather than an allocation request — the
+// length field of a torn frame is attacker/garbage-controlled.
+const maxRecordBytes = 64 << 20
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy uint8
+
+const (
+	// PolicyInterval (the default) syncs dirty logs on a background
+	// ticker: bounded data loss (one interval) at near-PolicyNever cost.
+	PolicyInterval Policy = iota
+	// PolicyAlways syncs after every append: no committed operation is
+	// ever lost, at one fsync per request.
+	PolicyAlways
+	// PolicyNever leaves syncing to the operating system: crash of the
+	// process alone loses nothing (writes are in the page cache), crash
+	// of the machine may lose recent records.
+	PolicyNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParsePolicy parses "always", "interval" or "never".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "", "interval":
+		return PolicyInterval, nil
+	case "never":
+		return PolicyNever, nil
+	default:
+		return PolicyInterval, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options tunes a Log. The callbacks feed the server's /metrics
+// aggregation; nil callbacks are skipped.
+type Options struct {
+	Policy Policy
+	// Interval is the flush period under PolicyInterval. Default 100ms.
+	Interval time.Duration
+	// OnAppend observes every appended record's framed size in bytes.
+	OnAppend func(bytes int)
+	// OnFsync observes the latency of every fsync issued.
+	OnFsync func(d time.Duration)
+}
+
+// ScanResult reports what Open found in an existing log file.
+type ScanResult struct {
+	// Records are the valid records, in append order.
+	Records []Record
+	// TruncatedBytes is how much torn/corrupt tail was cut off.
+	TruncatedBytes int64
+}
+
+// Log is an append-only record log. All methods are safe for concurrent
+// use; appends are serialized internally.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	opts   Options
+	seq    uint64 // last sequence number assigned
+	dirty  bool
+	closed bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if absent) the log at path for appending. An
+// existing file is scanned first: valid records are returned and any
+// torn or corrupt tail is truncated away, so the returned log is always
+// positioned at the end of the valid prefix.
+func Open(path string, opts Options) (*Log, ScanResult, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, ScanResult{}, err
+	}
+	res, lastSeq, validEnd, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, ScanResult{}, err
+	}
+	if res.TruncatedBytes > 0 {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, ScanResult{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, ScanResult{}, err
+	}
+	l := &Log{f: f, opts: opts, seq: lastSeq}
+	if opts.Policy == PolicyInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, res, nil
+}
+
+// scan reads every valid record, returning them plus the last sequence
+// number seen and the offset of the end of the valid prefix.
+func scan(f *os.File) (ScanResult, uint64, int64, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return ScanResult{}, 0, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return ScanResult{}, 0, 0, err
+	}
+	var (
+		res      ScanResult
+		rd       = bufio.NewReader(f)
+		off      int64
+		lastSeq  uint64
+		header   [frameHeader]byte
+		validEnd int64
+	)
+	for {
+		if _, err := io.ReadFull(rd, header[:]); err != nil {
+			break // clean EOF or torn header — either way the prefix ends here
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > maxRecordBytes {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		if rec.Seq <= lastSeq {
+			break // sequence must be strictly increasing
+		}
+		lastSeq = rec.Seq
+		off += frameHeader + int64(n)
+		validEnd = off
+		res.Records = append(res.Records, rec)
+	}
+	res.TruncatedBytes = size - validEnd
+	return res, lastSeq, validEnd, nil
+}
+
+// Append frames, checksums and writes one record, assigning it the next
+// sequence number (stored into rec.Seq). Under PolicyAlways the record
+// is on stable storage when Append returns.
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	l.seq++
+	rec.Seq = l.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encoding record: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.OnAppend != nil {
+		l.opts.OnAppend(len(frame))
+	}
+	if l.opts.Policy == PolicyAlways {
+		return l.syncLocked()
+	}
+	l.dirty = true
+	return nil
+}
+
+// Seq returns the last sequence number assigned (or recovered).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Sync flushes appended records to stable storage if any are pending.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	if l.opts.OnFsync != nil {
+		l.opts.OnFsync(time.Since(t0))
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// Reset discards every record in the file — they are covered by a
+// checkpoint — while the sequence numbering continues, so records
+// written afterwards sort strictly after the checkpoint's sequence
+// point even if a crash prevents the truncation from being observed.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return l.syncLocked()
+}
+
+// Close flushes and closes the log. Safe to call more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.dirty {
+		if serr := l.syncLocked(); serr != nil {
+			err = serr
+		}
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	return err
+}
+
+// flusher periodically syncs a dirty log under PolicyInterval.
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			_ = l.Sync() // the next Append surfaces a persistent write error
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"parulel/internal/wm"
+)
+
+func openTemp(t *testing.T, opts Options) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, res, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.TruncatedBytes != 0 {
+		t.Fatalf("fresh log not empty: %+v", res)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpCreate, Program: "quickstart", Source: "(literalize a x)", Workers: 4, Matcher: "rete", MaxCycles: 100},
+		{Op: OpAssert, Facts: []Fact{
+			{Template: "a", Fields: map[string]Value{"x": EncodeValue(wm.Int(7))}},
+			{Template: "a", Fields: map[string]Value{"x": EncodeValue(wm.Sym("hello"))}},
+		}},
+		{Op: OpRun, Cycles: 12, Halted: false},
+		{Op: OpRetract, Template: "a", Fields: map[string]Value{"x": EncodeValue(wm.Int(7))}, Count: 1},
+		{Op: OpImport, Text: "(wm (a ^x 3))"},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	want := sampleRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+		if want[i].Seq != uint64(i+1) {
+			t.Fatalf("record %d assigned seq %d", i, want[i].Seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", res.TruncatedBytes)
+	}
+	if !reflect.DeepEqual(res.Records, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", res.Records, want)
+	}
+	// Sequence numbering continues where the scan left off.
+	extra := Record{Op: OpRun, Cycles: 1}
+	if err := l2.Append(&extra); err != nil {
+		t.Fatal(err)
+	}
+	if extra.Seq != uint64(len(want)+1) {
+		t.Fatalf("continued seq = %d, want %d", extra.Seq, len(want)+1)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	recs := sampleRecords()
+	for i := range recs {
+		if err := l.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSize := info.Size()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		// A frame header with no payload behind it.
+		"torn header": func(b []byte) []byte { return append(b, 0x40, 0, 0, 0, 1, 2, 3, 4) },
+		// A plausible frame whose payload is cut short.
+		"torn payload": func(b []byte) []byte {
+			return append(b, 0x40, 0, 0, 0, 1, 2, 3, 4, 'p', 'a', 'r')
+		},
+		// A full frame whose checksum is wrong.
+		"bad checksum": func(b []byte) []byte {
+			return append(b, 4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, '{', '}', ' ', ' ')
+		},
+		// Raw garbage.
+		"garbage": func(b []byte) []byte { return append(b, []byte("not a frame at all")...) },
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty := filepath.Join(t.TempDir(), "dirty.log")
+		if err := os.WriteFile(dirty, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, res, err := Open(dirty, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Records) != len(recs) {
+			t.Fatalf("%s: recovered %d records, want %d", name, len(res.Records), len(recs))
+		}
+		if res.TruncatedBytes == 0 {
+			t.Fatalf("%s: no truncation reported", name)
+		}
+		// The file itself must be truncated back to the valid prefix so a
+		// subsequent append produces a clean log again.
+		if info, err := os.Stat(dirty); err != nil || info.Size() != cleanSize {
+			t.Fatalf("%s: file size %d after recovery, want %d (err=%v)", name, info.Size(), cleanSize, err)
+		}
+		l2.Close()
+	}
+}
+
+func TestCorruptionMidFileDropsSuffix(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	recs := sampleRecords()
+	for i := range recs {
+		if err := l.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip a byte inside the second record's payload: records 2..n are
+	// unreachable (scanning cannot resynchronize) and must be dropped.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+int(data[0])+frameHeader+4] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, res, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(res.Records) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(res.Records))
+	}
+	if res.TruncatedBytes == 0 {
+		t.Fatal("no truncation reported")
+	}
+}
+
+func TestResetKeepsSequence(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	r1 := Record{Op: OpRun, Cycles: 1}
+	r2 := Record{Op: OpRun, Cycles: 2}
+	if err := l.Append(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Seq != 2 {
+		t.Fatalf("post-reset seq = %d, want 2", r2.Seq)
+	}
+	l.Close()
+	_, res, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Records[0].Seq != 2 {
+		t.Fatalf("post-reset replay: %+v", res.Records)
+	}
+}
+
+func TestValueCodecExact(t *testing.T) {
+	vals := []wm.Value{
+		wm.Nil(), wm.Int(0), wm.Int(-9_223_372_036_854_775_808), wm.Int(42),
+		wm.Float(0), wm.Float(0.1), wm.Float(math.Pi), wm.Float(math.Inf(1)),
+		wm.Float(math.Inf(-1)), wm.Float(math.SmallestNonzeroFloat64),
+		wm.Sym("x"), wm.Sym("a b c"), wm.Str(""), wm.Str("line\nbreak"),
+	}
+	for _, v := range vals {
+		back, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if back != v {
+			t.Errorf("round trip %#v -> %#v", v, back)
+		}
+	}
+	// NaN != NaN under ==; compare bit patterns.
+	nan := wm.Float(math.NaN())
+	back, err := DecodeValue(EncodeValue(nan))
+	if err != nil || back.Kind != wm.KindFloat || math.Float64bits(back.F) != math.Float64bits(nan.F) {
+		t.Errorf("NaN round trip failed: %#v, %v", back, err)
+	}
+	if _, err := DecodeValue(Value{K: "bogus"}); err == nil {
+		t.Error("unknown kind should fail to decode")
+	}
+}
+
+func TestFsyncPoliciesAndCallbacks(t *testing.T) {
+	var appended, syncs int
+	opts := Options{
+		Policy:   PolicyAlways,
+		OnAppend: func(n int) { appended += n },
+		OnFsync:  func(time.Duration) { syncs++ },
+	}
+	l, _ := openTemp(t, opts)
+	rec := Record{Op: OpRun, Cycles: 1}
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if appended == 0 || syncs != 1 {
+		t.Fatalf("always: appended=%d syncs=%d", appended, syncs)
+	}
+
+	// Interval: the flusher syncs a dirty log without explicit Sync calls.
+	var mu chan struct{} = make(chan struct{}, 1)
+	intervalSyncs := 0
+	l2, _ := openTemp(t, Options{Policy: PolicyInterval, Interval: 5 * time.Millisecond,
+		OnFsync: func(time.Duration) {
+			select {
+			case mu <- struct{}{}:
+			default:
+			}
+			intervalSyncs++
+		}})
+	rec2 := Record{Op: OpRun, Cycles: 1}
+	if err := l2.Append(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-mu:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interval flusher never synced")
+	}
+
+	// Never: no fsync on append; Close still flushes buffered state.
+	neverSyncs := 0
+	l3, _ := openTemp(t, Options{Policy: PolicyNever, OnFsync: func(time.Duration) { neverSyncs++ }})
+	rec3 := Record{Op: OpRun, Cycles: 1}
+	if err := l3.Append(&rec3); err != nil {
+		t.Fatal(err)
+	}
+	if neverSyncs != 0 {
+		t.Fatalf("never policy issued %d fsyncs on append", neverSyncs)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if neverSyncs != 1 {
+		t.Fatalf("close should fsync once, got %d", neverSyncs)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	l.Close()
+	rec := Record{Op: OpRun}
+	if err := l.Append(&rec); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}

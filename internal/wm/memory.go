@@ -127,3 +127,51 @@ func (m *Memory) OfTemplate(template string) []*WME {
 // NextTime reports the time tag the next inserted WME will receive minus
 // one, i.e. the highest tag handed out so far.
 func (m *Memory) NextTime() int64 { return m.nextTime }
+
+// SetNextTime advances the time-tag counter so the next insertion
+// receives tag n+1. It only moves forward: recovery restores the
+// counter a checkpoint recorded, and rewinding would mint duplicate
+// tags. Moving backward is a no-op.
+func (m *Memory) SetNextTime(n int64) {
+	if n > m.nextTime {
+		m.nextTime = n
+	}
+}
+
+// InsertAt restores a WME under an explicit time tag. It is the
+// checkpoint-recovery counterpart of Insert: tags are normally minted
+// monotonically, but a recovered working memory must reproduce the exact
+// tags the crashed process assigned (meta-rules observe them via `(tag
+// <i>)`, and gensym values derive from them). The counter advances past
+// the restored tag. Reusing a live tag or a non-positive one is an
+// error.
+func (m *Memory) InsertAt(template string, fields map[string]Value, time int64) (*WME, error) {
+	if time <= 0 {
+		return nil, fmt.Errorf("wm: restore with non-positive time tag %d", time)
+	}
+	if _, dup := m.byTime[time]; dup {
+		return nil, fmt.Errorf("wm: restore reuses live time tag %d", time)
+	}
+	t, ok := m.schema.Lookup(template)
+	if !ok {
+		return nil, fmt.Errorf("wm: restore of undeclared template %q", template)
+	}
+	vals := make([]Value, t.Arity())
+	for attr, v := range fields {
+		i, ok := t.AttrIndex(attr)
+		if !ok {
+			return nil, fmt.Errorf("wm: template %q has no attribute %q", template, attr)
+		}
+		vals[i] = v
+	}
+	w := &WME{Time: time, Tmpl: t, Fields: vals}
+	m.byTime[time] = w
+	class := m.byTmpl[t]
+	if class == nil {
+		class = make(map[int64]*WME)
+		m.byTmpl[t] = class
+	}
+	class[time] = w
+	m.SetNextTime(time)
+	return w, nil
+}
