@@ -271,6 +271,51 @@ func TestCheckpointRecovery(t *testing.T) {
 	}
 }
 
+// TestRecoverMutateCrashRecover: regression for the post-checkpoint
+// sequence restart. A checkpoint empties the log, so when a restart
+// reopens it the scan finds nothing and the sequence counter would start
+// over from zero; mutations accepted after that recovery would then carry
+// seq <= the checkpoint's sequence point and the NEXT recovery would
+// silently skip them as already checkpointed. CheckpointEvery must be > 1
+// here so the post-recovery records survive to the second recovery
+// instead of being immediately folded into a fresh checkpoint.
+func TestRecoverMutateCrashRecover(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyAlways, CheckpointEvery: 3}
+
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+	for i := 0; i < 3; i++ { // three records: the third triggers the checkpoint
+		assertTasks(t, urlA, i, i+1)
+	}
+	dir := filepath.Join(cfg.DataDir, "sessions", info.ID)
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("checkpoint did not empty the log (size %d, err %v); test premise broken", fi.Size(), err)
+	}
+	tsA.Close() // crash 1: the only sequence witness is the checkpoint header
+
+	// Recover, mutate past the checkpoint, and crash again before the
+	// next checkpoint fires (2 records < CheckpointEvery).
+	tsB := startCrashable(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	assertTasks(t, urlB, 3, 4)
+	runSession(t, urlB)
+	wantSnap := exportSnapshot(t, urlB)
+	wantInfo := getInfo(t, urlB)
+	tsB.Close() // crash 2
+
+	_, tsC := newTestServer(t, cfg)
+	urlC := tsC.URL + "/api/v1/sessions/" + info.ID
+	gotInfo := getInfo(t, urlC)
+	if gotInfo.Cycles != wantInfo.Cycles || gotInfo.Firings != wantInfo.Firings ||
+		gotInfo.Runs != wantInfo.Runs || gotInfo.WMSize != wantInfo.WMSize {
+		t.Fatalf("mutations after the first recovery were lost:\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+	if gotSnap := exportSnapshot(t, urlC); gotSnap != wantSnap {
+		t.Fatalf("mutations after the first recovery were lost:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+}
+
 // TestTornTailRecovery: garbage appended to the log (a torn final write)
 // is cut off and the session recovers to the last valid record.
 func TestTornTailRecovery(t *testing.T) {

@@ -316,6 +316,11 @@ func recoverableNote(sess *session) string {
 // while preferring idle ones; a pool full of busy sessions rejects the
 // insert rather than killing a running one. Caller holds s.mu.
 func (s *Server) insertLocked(sess *session) error {
+	if _, ok := s.sessions[sess.id]; ok {
+		// Overwriting would orphan the incumbent in the LRU list with an
+		// open WAL handle; no legitimate path inserts a live id twice.
+		return fmt.Errorf("session %s is already in the pool", sess.id)
+	}
 	for len(s.sessions) >= s.cfg.MaxSessions {
 		victim := (*session)(nil)
 		for e := s.lru.Back(); e != nil; e = e.Prev() {
@@ -490,6 +495,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	err = s.insertLocked(sess)
 	if err == nil {
+		if sess.dur != nil {
+			// Only now may lookups see the id: marking before insertion
+			// would let a concurrent request rehydrate from the OpCreate
+			// record and race this insert.
+			s.store.markKnown(id)
+		}
 		info := sess.info(sess.lastUsed)
 		s.mu.Unlock()
 		s.metrics.sessionCreated()
@@ -705,7 +716,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Log the run boundary — the committed cycle delta, never wall
 		// clock — regardless of outcome: a timed-out or canceled run still
 		// advanced the engine by exactly that many committed cycles.
-		s.persist(sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
+		persisted := s.persist(sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
 
 		output, trunc := sess.out.take()
 		resp := runResponse{
@@ -720,6 +731,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			OutputTrunc:    trunc,
 		}
 		switch {
+		case err == nil && !persisted:
+			// The run committed in memory but neither the WAL append nor
+			// the fallback checkpoint stuck: recovery would serve pre-run
+			// state, so the client must not see a bare 200 (mirrors the
+			// assert/retract handlers, with the result attached since the
+			// cycles did run).
+			s.metrics.runError()
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error":  "run committed in memory but not durably logged",
+				"result": resp,
+			})
 		case err == nil:
 			resp.Quiescent = !res.Halted
 			s.metrics.runCompleted()

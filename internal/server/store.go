@@ -89,7 +89,11 @@ func (st *store) count() int {
 func (st *store) dir(id string) string { return filepath.Join(st.root, id) }
 
 // create makes the session directory and its log and writes the OpCreate
-// record. Under wal.PolicyAlways the record is durable on return.
+// record. Under wal.PolicyAlways the record is durable on return. The id
+// is deliberately NOT marked known yet: until the session is in the pool,
+// a concurrent lookup must 404 rather than rehydrate from the fresh
+// OpCreate record and race the pending insert. The caller marks the id
+// with markKnown once pool insertion has succeeded.
 func (st *store) create(id string, meta wal.Record) (*durable, error) {
 	dir := st.dir(id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -103,10 +107,14 @@ func (st *store) create(id string, meta wal.Record) (*durable, error) {
 		l.Close()
 		return nil, err
 	}
+	return &durable{st: st, id: id, dir: dir, log: l, meta: meta}, nil
+}
+
+// markKnown makes id visible to lookup/rehydration and deletion.
+func (st *store) markKnown(id string) {
 	st.mu.Lock()
 	st.known[id] = true
 	st.mu.Unlock()
-	return &durable{st: st, id: id, dir: dir, log: l, meta: meta}, nil
 }
 
 // remove deletes a session's on-disk state.
@@ -361,6 +369,12 @@ func (s *Server) loadSession(id string) (*session, error) {
 	if scanRes.TruncatedBytes > 0 {
 		s.metrics.walTruncated(scanRes.TruncatedBytes)
 		s.cfg.Log.Printf("session %s: dropped %d bytes of torn wal tail", id, scanRes.TruncatedBytes)
+	}
+	if haveCkpt {
+		// The checkpoint truncated the log, so the scan above cannot see
+		// its sequence point; restore it from the header or post-recovery
+		// appends would reuse seq <= h.Seq and be skipped next recovery.
+		l.AdvanceSeq(h.Seq)
 	}
 
 	var meta wal.Record

@@ -225,6 +225,20 @@ func (l *Log) Seq() uint64 {
 	return l.seq
 }
 
+// AdvanceSeq raises the sequence counter to at least n. Open derives the
+// counter from the file alone, but a checkpoint empties the file: after a
+// reopen the counter would restart below the checkpoint's sequence point
+// and fresh appends would reuse covered numbers — which the next recovery
+// skips as already checkpointed. Recovery calls this with the checkpoint
+// header's Seq so post-recovery appends sort strictly after it.
+func (l *Log) AdvanceSeq(n uint64) {
+	l.mu.Lock()
+	if n > l.seq {
+		l.seq = n
+	}
+	l.mu.Unlock()
+}
+
 // Sync flushes appended records to stable storage if any are pending.
 func (l *Log) Sync() error {
 	l.mu.Lock()

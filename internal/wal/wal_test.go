@@ -188,6 +188,44 @@ func TestResetKeepsSequence(t *testing.T) {
 	}
 }
 
+// TestAdvanceSeqAfterReopen: a Reset (checkpoint) followed by a reopen
+// loses the in-memory counter — the file is empty, so Open scans seq 0.
+// AdvanceSeq restores the externally remembered sequence point so new
+// appends sort strictly after it; advancing backwards is a no-op.
+func TestAdvanceSeqAfterReopen(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(&Record{Op: OpRun, Cycles: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, res, err := Open(path, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(res.Records) != 0 || l2.Seq() != 0 {
+		t.Fatalf("reopened emptied log: records=%d seq=%d", len(res.Records), l2.Seq())
+	}
+	l2.AdvanceSeq(3)
+	l2.AdvanceSeq(1) // backwards is a no-op
+	if got := l2.Seq(); got != 3 {
+		t.Fatalf("advanced seq = %d, want 3", got)
+	}
+	rec := Record{Op: OpRun, Cycles: 9}
+	if err := l2.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 4 {
+		t.Fatalf("post-advance append seq = %d, want 4", rec.Seq)
+	}
+}
+
 func TestValueCodecExact(t *testing.T) {
 	vals := []wm.Value{
 		wm.Nil(), wm.Int(0), wm.Int(-9_223_372_036_854_775_808), wm.Int(42),
