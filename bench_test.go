@@ -10,6 +10,7 @@ package parulel
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"parulel/internal/match"
 	"parulel/internal/match/rete"
 	"parulel/internal/match/treat"
+	"parulel/internal/obs"
 	"parulel/internal/ops5"
 	"parulel/internal/programs"
 	"parulel/internal/wm"
@@ -249,6 +251,40 @@ func BenchmarkE5(b *testing.B) {
 			b.ReportMetric(r, "redact%")
 			b.ReportMetric(f, "fire%")
 			b.ReportMetric(a, "apply%")
+		})
+	}
+}
+
+// --- Observability: trace hook overhead ---
+
+// BenchmarkTracerOverhead measures the engine's trace hooks on waltz:
+// the nil case is the default production path (one nil check per hook
+// site and must stay within noise of a build without hooks), "ring" is
+// the paruleld per-session ring buffer, and "jsonl" the CLI's encoder.
+func BenchmarkTracerOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		tracer func() core.Tracer
+	}{
+		{"nil", func() core.Tracer { return nil }},
+		{"ring", func() core.Tracer { return obs.NewRing(512) }},
+		{"jsonl", func() core.Tracer { return obs.NewJSONLWriter(io.Discard) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := core.New(mustLoad(b, programs.Waltz), core.Options{
+					Workers:   4,
+					MaxCycles: 1 << 20,
+					Tracer:    v.tracer(),
+				})
+				if err := workload.WaltzScene(e, 20); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -8,6 +8,7 @@
 //	parbench -json            machine-readable suite run → BENCH_results.json
 //	parbench -json -out f     …written to f instead ("-" for stdout)
 //	parbench -durability      WAL fsync policy cost at the session write path
+//	parbench -ruleprofile     per-rule match-time attribution tables
 //	parbench -cpuprofile f    write a pprof CPU profile of the run to f
 //	parbench -memprofile f    write a pprof heap profile at exit to f
 //
@@ -30,6 +31,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
 	durability := flag.Bool("durability", false, "run the durability benchmark (WAL fsync policy comparison) instead of the experiment tables")
+	ruleProfile := flag.Bool("ruleprofile", false, "print per-rule match attribution tables instead of the experiment tables")
+	top := flag.Int("top", 10, "rules shown per workload under -ruleprofile (the rest fold into one row)")
 	out := flag.String("out", "BENCH_results.json", "output path for -json (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -68,6 +71,14 @@ func main() {
 	if *durability {
 		if err := bench.Durability(os.Stdout, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "parbench: durability: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ruleProfile {
+		if err := bench.RuleProfiles(os.Stdout, *quick, *top); err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: ruleprofile: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"parulel"
+	"parulel/internal/obs"
 )
 
 func usage(errW io.Writer) {
@@ -30,12 +31,45 @@ run flags:
 	fs.PrintDefaults()
 }
 
+// traceFlag accepts both the classic boolean form (-trace for a text
+// trace on stderr) and a path form (-trace=events.jsonl for structured
+// JSONL cycle events). Because it reports IsBoolFlag, the path must be
+// attached with '=', not passed as a separate argument.
+type traceFlag struct {
+	enabled bool
+	path    string
+}
+
+func (f *traceFlag) String() string {
+	if f.path != "" {
+		return f.path
+	}
+	if f.enabled {
+		return "true"
+	}
+	return "false"
+}
+
+func (f *traceFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.enabled, f.path = true, ""
+	case "false":
+		f.enabled, f.path = false, ""
+	default:
+		f.enabled, f.path = true, s
+	}
+	return nil
+}
+
+func (f *traceFlag) IsBoolFlag() bool { return true }
+
 type runOpts struct {
 	engine    string
 	matcher   string
 	workers   int
 	maxCycles int
-	trace     bool
+	trace     traceFlag
 	builtin   string
 	noMeta    bool
 	stats     bool
@@ -53,7 +87,7 @@ func runFlags(errW io.Writer) (*flag.FlagSet, *runOpts) {
 	fs.StringVar(&o.matcher, "matcher", "rete", "match algorithm: rete, treat")
 	fs.IntVar(&o.workers, "workers", 4, "parallel workers (parulel engine)")
 	fs.IntVar(&o.maxCycles, "max-cycles", 100000, "abort after this many cycles (0 = unlimited)")
-	fs.BoolVar(&o.trace, "trace", false, "print a line per cycle")
+	fs.Var(&o.trace, "trace", "print a line per cycle; -trace=FILE.jsonl instead writes structured cycle events as JSONL")
 	fs.StringVar(&o.builtin, "builtin", "", "run an embedded program instead of a file")
 	fs.BoolVar(&o.noMeta, "no-meta", false, "strip meta-rules before running")
 	fs.BoolVar(&o.stats, "stats", true, "print run statistics")
@@ -143,8 +177,20 @@ func cmdRun(args []string, out, errW io.Writer) error {
 		Output:    out,
 		MaxCycles: o.maxCycles,
 	}
-	if o.trace {
-		cfg.Trace = errW
+	var traceFile *os.File
+	var traceJSONL *obs.JSONLWriter
+	if o.trace.enabled {
+		if o.trace.path == "" {
+			cfg.Trace = errW
+		} else {
+			traceFile, err = os.Create(o.trace.path)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			traceJSONL = obs.NewJSONLWriter(traceFile)
+			cfg.Tracer = traceJSONL
+		}
 	}
 	eng := parulel.NewEngine(prog, cfg)
 	if o.loadWM != "" {
@@ -162,6 +208,15 @@ func cmdRun(args []string, out, errW io.Writer) error {
 	res, err := eng.Run()
 	if err != nil {
 		return err
+	}
+	if traceJSONL != nil {
+		if err := traceJSONL.Err(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.trace.path, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(errW, "structured trace written to %s\n", o.trace.path)
 	}
 	if o.explain {
 		if err := eng.Explain(errW); err != nil {

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
+
+	"parulel/internal/obs"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, out, errOut string) {
@@ -44,6 +47,39 @@ func TestCLIRunTraceAndNoMeta(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "cycle 1:") {
 		t.Errorf("trace missing: %q", errOut)
+	}
+}
+
+func TestCLIRunTraceJSONL(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	code, _, errOut := runCLI(t, "run", "-trace="+path, "testdata/demo.par")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "structured trace written to ") {
+		t.Errorf("trace note missing: %q", errOut)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no cycle events written")
+	}
+	fired := 0
+	for i, e := range events {
+		if e.Cycle != i+1 {
+			t.Errorf("event %d has cycle %d, want %d", i, e.Cycle, i+1)
+		}
+		fired += e.Fired
+	}
+	if fired == 0 {
+		t.Error("no firings recorded across the trace")
 	}
 }
 

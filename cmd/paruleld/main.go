@@ -15,8 +15,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,13 +41,30 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint a session after this many WAL records")
+	traceCycles := flag.Int("trace-cycles", 512, "per-session cycle-trace ring size served at /sessions/{id}/trace")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "paruleld: ", log.LstdFlags)
+	logDst := io.Writer(os.Stderr)
+	if *quiet {
+		logDst = io.Discard
+	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(logDst, nil)
+	} else {
+		handler = slog.NewTextHandler(logDst, nil)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 	policy, err := wal.ParsePolicy(*fsync)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("bad -fsync policy", err)
 	}
 	cfg := server.Config{
 		MaxSessions:       *maxSessions,
@@ -58,13 +77,29 @@ func main() {
 		Fsync:             policy,
 		FsyncInterval:     *fsyncInterval,
 		CheckpointEvery:   *checkpointEvery,
-	}
-	if !*quiet {
-		cfg.Log = logger
+		TraceCycles:       *traceCycles,
+		Logger:            logger,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("starting server", err)
+	}
+
+	// pprof lives on its own listener so profiling is never exposed on the
+	// service port by accident.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -78,25 +113,25 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("serving on %s (sessions=%d, concurrent runs=%d)", *addr, *maxSessions, *maxRuns)
+	logger.Info("serving", "addr", *addr, "sessions", *maxSessions, "concurrent_runs", *maxRuns)
 
 	select {
 	case err := <-errCh:
-		logger.Fatalf("listen: %v", err)
+		fatal("listen", err)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("signal received; draining (up to %v)", *drainTimeout)
+	logger.Info("signal received; draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Shutdown stops the listener and waits for in-flight HTTP requests;
 	// srv.Close additionally waits for engine runs and stops the janitor.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
-		logger.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Close(drainCtx); err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Error("drain", "err", err)
 		os.Exit(1)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

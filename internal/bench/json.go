@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"parulel/internal/core"
@@ -35,6 +36,34 @@ type JSONResult struct {
 	FireNS           int64   `json:"fire_ns"`
 	ApplyNS          int64   `json:"apply_ns"`
 	PotentialSpeedup float64 `json:"potential_speedup"` // sum/max of worker match time
+	// TopRules are the five most-fired rules of the final repetition,
+	// ordered by firing count — enough to spot a workload whose hot rule
+	// set shifted between benchmark documents.
+	TopRules []RuleFiring `json:"top_rules,omitempty"`
+}
+
+// RuleFiring is one rule's firing count within a result.
+type RuleFiring struct {
+	Rule  string `json:"rule"`
+	Fires int    `json:"fires"`
+}
+
+// topRules ranks a RuleFires map and keeps the hottest n.
+func topRules(fires map[string]int, n int) []RuleFiring {
+	out := make([]RuleFiring, 0, len(fires))
+	for rule, c := range fires {
+		out = append(out, RuleFiring{Rule: rule, Fires: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fires != out[j].Fires {
+			return out[i].Fires > out[j].Fires
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // JSONDoc is the whole document.
@@ -129,6 +158,7 @@ func RunJSON(quick bool) (*JSONDoc, error) {
 				FireNS:           f.Nanoseconds(),
 				ApplyNS:          a.Nanoseconds(),
 				PotentialSpeedup: speedup,
+				TopRules:         topRules(last.RuleFires(), 5),
 			})
 		}
 	}

@@ -49,6 +49,10 @@ type Options struct {
 	MaxCycles int
 	// Trace, when non-nil, receives a one-line summary per cycle.
 	Trace io.Writer
+	// Tracer, when non-nil, receives structured per-cycle events (see the
+	// Tracer interface for the callback order). Every call site is
+	// nil-checked, so leaving it nil costs one branch per event.
+	Tracer Tracer
 	// DisableRedactionIndex turns off the redactor's equality-join hash
 	// index, forcing nested-loop meta-rule matching (ablation E7).
 	DisableRedactionIndex bool
@@ -183,6 +187,9 @@ type Engine struct {
 	// activity counts instantiations entering the conflict set per rule,
 	// feeding the copy-and-constrain advisor (copycon.Advise).
 	activity map[string]int
+	// fires counts firings per rule across the run, feeding RuleFires and
+	// the per-rule profile merge (RuleProfiles).
+	fires map[string]int
 }
 
 // worker owns one rule partition and its matcher.
@@ -219,6 +226,7 @@ func New(prog *compile.Program, opts Options) *Engine {
 		redact:      newRedactor(prog.MetaRules, opts.Workers, opts.DisableRedactionIndex, opts.SequentialRedaction),
 		result:      Result{Stats: &stats.Run{}},
 		activity:    make(map[string]int),
+		fires:       make(map[string]int),
 	}
 	// Distribute rules across workers. Workers with no rules are dropped
 	// so tiny programs don't pay for idle goroutines.
@@ -351,6 +359,10 @@ func (e *Engine) Step() (bool, error) {
 		return false, nil
 	}
 	var cyc stats.Cycle
+	tr := e.opts.Tracer
+	if tr != nil {
+		tr.CycleStart(e.result.Cycles + 1)
+	}
 
 	// MATCH: apply the pending delta to every partition in parallel.
 	t0 := time.Now()
@@ -368,6 +380,10 @@ func (e *Engine) Step() (bool, error) {
 	e.eligible = eligible
 	match.SortInstantiations(eligible)
 	cyc.ConflictSize = len(eligible)
+	if tr != nil {
+		tr.PhaseEnd(PhaseMatch, cyc.Match)
+		tr.InstantiationsFound(len(e.conflictSet), len(eligible))
+	}
 	if len(eligible) == 0 {
 		return false, nil
 	}
@@ -379,6 +395,10 @@ func (e *Engine) Step() (bool, error) {
 	cyc.Redacted = redacted
 	e.result.Redactions += redacted
 	e.result.RedactionRounds += rounds
+	if tr != nil {
+		tr.PhaseEnd(PhaseRedact, cyc.Redact)
+		tr.Redacted(redacted, rounds, len(survivors))
+	}
 
 	if len(survivors) == 0 {
 		// Everything was redacted: treat as quiescence to avoid spinning
@@ -386,6 +406,11 @@ func (e *Engine) Step() (bool, error) {
 		// same set again).
 		e.result.Stats.Add(cyc)
 		e.result.Cycles++
+		if tr != nil {
+			tr.PhaseEnd(PhaseFire, 0)
+			tr.PhaseEnd(PhaseApply, 0)
+			tr.Commit(0, 0, false)
+		}
 		return false, nil
 	}
 
@@ -400,6 +425,22 @@ func (e *Engine) Step() (bool, error) {
 	e.result.Firings += len(survivors)
 	for _, in := range survivors {
 		e.fired[in.Key()] = true
+		e.fires[in.Rule.Name]++
+	}
+	if tr != nil {
+		tr.PhaseEnd(PhaseFire, cyc.Fire)
+		counts := make(map[string]int, 8)
+		for _, in := range survivors {
+			counts[in.Rule.Name]++
+		}
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tr.RuleFired(name, counts[name])
+		}
 	}
 
 	// APPLY: reconcile effects into one deterministic WM delta.
@@ -417,6 +458,10 @@ func (e *Engine) Step() (bool, error) {
 	e.result.Stats.Add(cyc)
 	e.result.Cycles++
 	e.result.Halted = halted
+	if tr != nil {
+		tr.PhaseEnd(PhaseApply, cyc.Apply)
+		tr.Commit(cyc.DeltaSize, conflicts, halted)
+	}
 	if e.opts.Trace != nil {
 		fmt.Fprintf(e.opts.Trace, "cycle %d: eligible=%d redacted=%d fired=%d delta=%d conflicts=%d\n",
 			e.result.Cycles, cyc.ConflictSize, cyc.Redacted, cyc.Fired, cyc.DeltaSize, conflicts)
@@ -469,6 +514,67 @@ func (e *Engine) RuleActivity() map[string]int {
 	for k, v := range e.activity {
 		out[k] = v
 	}
+	return out
+}
+
+// RuleFires returns, per rule, how many instantiations fired over the run
+// so far.
+func (e *Engine) RuleFires() map[string]int {
+	out := make(map[string]int, len(e.fires))
+	for k, v := range e.fires {
+		out[k] = v
+	}
+	return out
+}
+
+// RuleProfiles merges the per-rule match-layer profiles of every worker's
+// matcher (for matchers implementing match.RuleProfiler — RETE and TREAT
+// both do) with the engine's own per-rule firing counts. Rules are
+// returned sorted by attributed match time, then firings, then name, so
+// the first entries are the copy-and-constrain candidates. Match time is
+// only attributed when the matcher was built with profiling enabled
+// (rete.Options.Profile / treat.Options.Profile); the activity counters
+// (tokens, probes, instantiations) are always maintained.
+func (e *Engine) RuleProfiles() []match.RuleProfile {
+	agg := make(map[string]*match.RuleProfile)
+	get := func(name string) *match.RuleProfile {
+		p := agg[name]
+		if p == nil {
+			p = &match.RuleProfile{Rule: name}
+			agg[name] = p
+		}
+		return p
+	}
+	for _, w := range e.workers {
+		rp, ok := w.matcher.(match.RuleProfiler)
+		if !ok {
+			continue
+		}
+		for _, p := range rp.RuleProfiles() {
+			a := get(p.Rule)
+			a.MatchNS += p.MatchNS
+			a.Tokens += p.Tokens
+			a.Probes += p.Probes
+			a.Insts += p.Insts
+		}
+	}
+	for name, n := range e.fires {
+		get(name).Fires = uint64(n)
+	}
+	out := make([]match.RuleProfile, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.MatchNS != b.MatchNS {
+			return a.MatchNS > b.MatchNS
+		}
+		if a.Fires != b.Fires {
+			return a.Fires > b.Fires
+		}
+		return a.Rule < b.Rule
+	})
 	return out
 }
 

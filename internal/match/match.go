@@ -180,6 +180,37 @@ type MemStats struct {
 	ConflictSet int
 }
 
+// RuleProfile attributes match-layer activity to one rule. It is the unit
+// of the per-rule profiles served at /metrics and printed by
+// `parbench -ruleprofile`; Fires is filled in by the engine (the match
+// layer never sees firings).
+type RuleProfile struct {
+	Rule string `json:"rule"`
+	// MatchNS is the match time attributed to this rule's join work
+	// (beta-network propagation for RETE, seeded joins for TREAT). Shared
+	// alpha-memory maintenance is not attributable and is excluded. Only
+	// populated by matchers built with profiling enabled.
+	MatchNS int64 `json:"match_ns"`
+	// Tokens counts partial matches materialized (RETE beta tokens /
+	// TREAT seeded-join extensions).
+	Tokens uint64 `json:"tokens"`
+	// Probes counts candidate pairs tested at join and negation points.
+	Probes uint64 `json:"probes"`
+	// Insts counts instantiations added to the conflict set.
+	Insts uint64 `json:"insts"`
+	// Fires counts instantiations fired (engine-filled).
+	Fires uint64 `json:"fires"`
+}
+
+// RuleProfiler is implemented by matchers that attribute work per rule.
+// The engine merges profiles across its workers via this interface, so
+// implementations lacking it simply contribute nothing.
+type RuleProfiler interface {
+	// RuleProfiles returns one profile per rule of the partition, in
+	// declaration order.
+	RuleProfiles() []RuleProfile
+}
+
 // Matcher is an incremental match algorithm over a fixed partition of
 // rules. Implementations are not safe for concurrent use; the engines give
 // each matcher to exactly one worker.

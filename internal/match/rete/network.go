@@ -3,6 +3,7 @@ package rete
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"parulel/internal/compile"
 	"parulel/internal/match"
@@ -16,6 +17,23 @@ type Options struct {
 	// path. Exists for ablation measurements (experiment E11); production
 	// callers should leave it false.
 	DisableJoinIndex bool
+	// Profile attributes match time per rule: every top-level beta
+	// activation (and token-deletion cascade) is timed and charged to the
+	// owning rule's profile, at the cost of two clock reads per
+	// activation. The activity counters (tokens, probes, instantiations)
+	// are maintained regardless; Profile only gates the timing.
+	Profile bool
+}
+
+// ruleProf accumulates one rule's match-layer activity. Every beta-layer
+// node of a rule's chain points at its rule's ruleProf; counters are plain
+// increments on the single goroutine that owns the network.
+type ruleProf struct {
+	name    string
+	matchNS int64
+	tokens  uint64
+	probes  uint64
+	insts   uint64
 }
 
 // Network is a RETE network over a partition of rules. It implements
@@ -39,6 +57,11 @@ type Network struct {
 	betaMems []*betaMem
 	negNodes []*negativeNode
 	prods    []*productionNode
+
+	// profs holds one profile per rule, in declaration order of the
+	// partition. profile gates the timing attribution only.
+	profs   []*ruleProf
+	profile bool
 
 	// delStack is the reused traversal stack of deleteTokenAndDescendants,
 	// so deep token chains neither recurse nor reallocate per deletion.
@@ -68,6 +91,7 @@ func NewWithOptions(rules []*compile.Rule, opts Options) match.Matcher {
 		wmeNegResults: make(map[*wm.WME][]*negJoinResult),
 		conflictSet:   make(map[match.Key]*match.Instantiation),
 		coll:          match.NewChangeCollector(),
+		profile:       opts.Profile,
 	}
 	for _, r := range rules {
 		n.addRule(r)
@@ -133,7 +157,9 @@ func (n *Network) eqJoinTest(ce *compile.CondElem) int {
 // with a dummy token, then one join or negative node per condition
 // element, ending in a production node.
 func (n *Network) addRule(r *compile.Rule) {
-	top := &betaMem{net: n, tokens: make(tokenSet)}
+	prof := &ruleProf{name: r.Name}
+	n.profs = append(n.profs, prof)
+	top := &betaMem{net: n, tokens: make(tokenSet), prof: prof}
 	n.betaMems = append(n.betaMems, top)
 	dummy := &token{vec: nil, owner: top}
 	top.tokens[dummy] = struct{}{}
@@ -144,11 +170,11 @@ func (n *Network) addRule(r *compile.Rule) {
 		var child node
 		var collector *betaMem
 		if last {
-			prod := &productionNode{net: n, rule: r, insts: make(map[*token]*match.Instantiation)}
+			prod := &productionNode{net: n, rule: r, insts: make(map[*token]*match.Instantiation), prof: prof}
 			n.prods = append(n.prods, prod)
 			child = prod
 		} else {
-			collector = &betaMem{net: n, tokens: make(tokenSet)}
+			collector = &betaMem{net: n, tokens: make(tokenSet), prof: prof}
 			n.betaMems = append(n.betaMems, collector)
 			child = collector
 		}
@@ -162,6 +188,7 @@ func (n *Network) addRule(r *compile.Rule) {
 				tokens: make(tokenSet),
 				child:  child,
 				eqTest: eq,
+				prof:   prof,
 			}
 			if eq >= 0 {
 				jt := &ce.JoinTests[eq]
@@ -177,7 +204,7 @@ func (n *Network) addRule(r *compile.Rule) {
 				neg.leftActivate(t)
 			}
 		} else {
-			j := &joinNode{net: n, parent: cur, amem: am, ce: ce, child: child, eqTest: eq}
+			j := &joinNode{net: n, parent: cur, amem: am, ce: ce, child: child, eqTest: eq, prof: prof}
 			if eq >= 0 {
 				jt := &ce.JoinTests[eq]
 				j.alphaIdx = am.indexField(jt.Field)
@@ -214,8 +241,19 @@ func (n *Network) addWME(w *wm.WME) {
 		}
 		am.add(w)
 		n.wmeAlpha[w] = append(n.wmeAlpha[w], am)
-		for _, s := range am.succs {
-			s.rightAdd(w)
+		// Each right activation cascades only through its own rule's
+		// private beta chain, so timing the top-level call attributes the
+		// whole subtree to that rule.
+		if n.profile {
+			for _, s := range am.succs {
+				t0 := time.Now()
+				s.rightAdd(w)
+				s.profOf().matchNS += int64(time.Since(t0))
+			}
+		} else {
+			for _, s := range am.succs {
+				s.rightAdd(w)
+			}
 		}
 	}
 }
@@ -228,8 +266,17 @@ func (n *Network) removeWME(w *wm.WME) {
 	delete(n.wmeAlpha, w)
 
 	// 2. Delete every token built on this WME, cascading to descendants.
+	// A token's whole subtree lives in one rule's chain, so the deletion
+	// cascade is attributable to the owner's rule.
 	for _, t := range n.wmeTokens[w] {
-		n.deleteTokenAndDescendants(t)
+		if n.profile && !t.dead && t.owner != nil {
+			prof := t.owner.profOf()
+			t0 := time.Now()
+			n.deleteTokenAndDescendants(t)
+			prof.matchNS += int64(time.Since(t0))
+		} else {
+			n.deleteTokenAndDescendants(t)
+		}
 	}
 	delete(n.wmeTokens, w)
 
@@ -240,7 +287,13 @@ func (n *Network) removeWME(w *wm.WME) {
 		}
 		jr.owner.nresults--
 		if jr.owner.nresults == 0 {
-			jr.node.propagate(jr.owner)
+			if n.profile {
+				t0 := time.Now()
+				jr.node.propagate(jr.owner)
+				jr.node.prof.matchNS += int64(time.Since(t0))
+			} else {
+				jr.node.propagate(jr.owner)
+			}
 		}
 	}
 	delete(n.wmeNegResults, w)
@@ -296,6 +349,23 @@ func (n *Network) ConflictSet() []*match.Instantiation {
 		out = append(out, in)
 	}
 	match.SortInstantiations(out)
+	return out
+}
+
+// RuleProfiles returns per-rule match activity in declaration order,
+// implementing match.RuleProfiler. Match time is attributed only when the
+// network was built with Options.Profile; the counters are always live.
+func (n *Network) RuleProfiles() []match.RuleProfile {
+	out := make([]match.RuleProfile, len(n.profs))
+	for i, p := range n.profs {
+		out[i] = match.RuleProfile{
+			Rule:    p.name,
+			MatchNS: p.matchNS,
+			Tokens:  p.tokens,
+			Probes:  p.probes,
+			Insts:   p.insts,
+		}
+	}
 	return out
 }
 

@@ -64,6 +64,9 @@ type node interface {
 	// removeToken removes a token from this node's memory (cascade
 	// deletion has already handled its children).
 	removeToken(t *token)
+	// profOf returns the owning rule's profile. Beta-layer nodes are
+	// private to one rule's chain, so the mapping is total.
+	profOf() *ruleProf
 }
 
 // rightNode additionally receives alpha-memory activations.
@@ -154,7 +157,10 @@ type betaMem struct {
 	// byVal holds one value index per (ce, field) binding some successor
 	// join node equality-tests against.
 	byVal map[betaKey]map[wm.Value]tokenSet
+	prof  *ruleProf
 }
+
+func (b *betaMem) profOf() *ruleProf { return b.prof }
 
 // indexOn registers (or returns the existing) token index on the binding
 // at (ce, field), backfilling from current contents.
@@ -231,13 +237,17 @@ type joinNode struct {
 	// scratch is a reused WME vector for filter evaluation; the vector
 	// handed to EvalFilters never escapes it.
 	scratch []*wm.WME
+	prof    *ruleProf
 }
+
+func (j *joinNode) profOf() *ruleProf { return j.prof }
 
 // passes applies the CE's join tests and filters to a candidate pair. The
 // equality test the hash indexes are built on (eqTest) is skipped: both
 // activation paths reach passes only through an index probe on exactly
 // that test's value, and map-key equality coincides with OpEq.
 func (j *joinNode) passes(t *token, w *wm.WME) bool {
+	j.prof.probes++
 	for i, jt := range j.ce.JoinTests {
 		if i == j.eqTest {
 			continue
@@ -256,6 +266,7 @@ func (j *joinNode) passes(t *token, w *wm.WME) bool {
 }
 
 func (j *joinNode) propagate(t *token, w *wm.WME) {
+	j.prof.tokens++
 	vec := append(append(make([]*wm.WME, 0, len(t.vec)+1), t.vec...), w)
 	nt := &token{parent: t, wme: w, vec: vec}
 	t.addChild(nt)
@@ -324,7 +335,10 @@ type negativeNode struct {
 	eqTest      int
 	alphaIdx    map[wm.Value]wmeSet
 	tokensByVal map[wm.Value]tokenSet
+	prof        *ruleProf
 }
+
+func (n *negativeNode) profOf() *ruleProf { return n.prof }
 
 type negJoinResult struct {
 	owner *token
@@ -335,6 +349,7 @@ type negJoinResult struct {
 // passes applies the negated CE's join tests, skipping the indexed
 // equality test (see joinNode.passes).
 func (n *negativeNode) passes(t *token, w *wm.WME) bool {
+	n.prof.probes++
 	for i, jt := range n.ce.JoinTests {
 		if i == n.eqTest {
 			continue
@@ -363,6 +378,7 @@ func (n *negativeNode) leftActivate(t *token) {
 	// the incoming token may already be owned by a beta memory, and a
 	// token must live in exactly one node's memory for deletion to be
 	// complete.
+	n.prof.tokens++
 	nt := &token{parent: t, vec: t.vec, owner: n}
 	t.addChild(nt)
 	n.tokens[nt] = struct{}{}
@@ -437,9 +453,13 @@ type productionNode struct {
 	rule *compile.Rule
 	// insts maps tokens to their instantiations for O(1) retraction.
 	insts map[*token]*match.Instantiation
+	prof  *ruleProf
 }
 
+func (p *productionNode) profOf() *ruleProf { return p.prof }
+
 func (p *productionNode) leftActivate(t *token) {
+	p.prof.insts++
 	t.owner = p
 	in := match.NewInstantiation(p.rule, t.vec)
 	p.insts[t] = in

@@ -25,6 +25,8 @@
 package treat
 
 import (
+	"time"
+
 	"parulel/internal/compile"
 	"parulel/internal/match"
 	"parulel/internal/wm"
@@ -35,6 +37,19 @@ type Options struct {
 	// DisableJoinIndex turns off the per-CE alpha-memory value indexes,
 	// forcing seeded joins to scan whole alpha memories (ablation E11).
 	DisableJoinIndex bool
+	// Profile attributes match time per rule: each rule's slice of every
+	// addWME/removeWME pass is timed and charged to the rule's profile.
+	// The activity counters (tokens, probes, instantiations) are
+	// maintained regardless; Profile only gates the timing.
+	Profile bool
+}
+
+// ruleProf accumulates one rule's match-layer activity.
+type ruleProf struct {
+	matchNS int64
+	tokens  uint64
+	probes  uint64
+	insts   uint64
 }
 
 // wmeSet is an alpha memory or one of its hash-index buckets.
@@ -50,6 +65,9 @@ type Treat struct {
 	// removal.
 	byWME map[*wm.WME]map[match.Key]*match.Instantiation
 	coll  *match.ChangeCollector
+	// profile gates per-rule match-time attribution (the counters inside
+	// each ruleState's prof are always maintained).
+	profile bool
 }
 
 var _ match.Matcher = (*Treat)(nil)
@@ -69,6 +87,7 @@ type ruleState struct {
 	// insts holds this rule's current instantiations by key, for
 	// negated-CE violation checks.
 	insts map[match.Key]*match.Instantiation
+	prof  ruleProf
 }
 
 // New builds a TREAT matcher with default options for the given rules. It
@@ -86,6 +105,7 @@ func NewWithOptions(rules []*compile.Rule, opts Options) match.Matcher {
 		conflictSet: make(map[match.Key]*match.Instantiation),
 		byWME:       make(map[*wm.WME]map[match.Key]*match.Instantiation),
 		coll:        match.NewChangeCollector(),
+		profile:     opts.Profile,
 	}
 	for _, r := range rules {
 		rs := &ruleState{
@@ -170,6 +190,7 @@ func (t *Treat) addInst(rs *ruleState, in *match.Instantiation) {
 	if _, dup := t.conflictSet[key]; dup {
 		return
 	}
+	rs.prof.insts++
 	t.conflictSet[key] = in
 	rs.insts[key] = in
 	for _, w := range in.WMEs {
@@ -212,38 +233,51 @@ func (t *Treat) ruleStateOf(in *match.Instantiation) *ruleState {
 
 func (t *Treat) addWME(w *wm.WME) {
 	for _, rs := range t.rules {
-		// First pass: insert into every matching alpha memory so joins see
-		// a consistent state.
-		matched := make([]int, 0, 4)
-		for i, ce := range rs.rule.CEs {
-			if ce.MatchesAlpha(w) {
-				rs.alphaInsert(i, w)
-				matched = append(matched, i)
-			}
+		if t.profile {
+			start := time.Now()
+			t.addWMERule(rs, w)
+			rs.prof.matchNS += time.Since(start).Nanoseconds()
+		} else {
+			t.addWMERule(rs, w)
 		}
-		if len(matched) == 0 {
+	}
+}
+
+// addWMERule is one rule's slice of an addition: alpha maintenance plus
+// the seeded joins. Split out so profiling can time it per rule.
+func (t *Treat) addWMERule(rs *ruleState, w *wm.WME) {
+	// First pass: insert into every matching alpha memory so joins see
+	// a consistent state.
+	matched := make([]int, 0, 4)
+	for i, ce := range rs.rule.CEs {
+		if ce.MatchesAlpha(w) {
+			rs.alphaInsert(i, w)
+			matched = append(matched, i)
+		}
+	}
+	if len(matched) == 0 {
+		return
+	}
+	// Negated matches first: they can only retract, and retracting
+	// before seeding keeps the additions consistent with the new WM.
+	for _, i := range matched {
+		ce := rs.rule.CEs[i]
+		if !ce.Negated {
 			continue
 		}
-		// Negated matches first: they can only retract, and retracting
-		// before seeding keeps the additions consistent with the new WM.
-		for _, i := range matched {
-			ce := rs.rule.CEs[i]
-			if !ce.Negated {
-				continue
-			}
-			for _, in := range instList(rs.insts) {
-				if negMatches(ce, w, in.WMEs, -1) {
-					t.dropInst(rs, in)
-				}
+		for _, in := range instList(rs.insts) {
+			rs.prof.probes++
+			if negMatches(ce, w, in.WMEs, -1) {
+				t.dropInst(rs, in)
 			}
 		}
-		for _, i := range matched {
-			ce := rs.rule.CEs[i]
-			if ce.Negated {
-				continue
-			}
-			t.seedJoin(rs, ce.PosIndex, w, nil)
+	}
+	for _, i := range matched {
+		ce := rs.rule.CEs[i]
+		if ce.Negated {
+			continue
 		}
+		t.seedJoin(rs, ce.PosIndex, w, nil)
 	}
 }
 
@@ -252,26 +286,45 @@ func (t *Treat) removeWME(w *wm.WME) {
 	// rules.
 	if idx := t.byWME[w]; idx != nil {
 		for _, in := range instList(idx) {
-			t.dropInst(t.ruleStateOf(in), in)
+			rs := t.ruleStateOf(in)
+			if t.profile {
+				start := time.Now()
+				t.dropInst(rs, in)
+				rs.prof.matchNS += time.Since(start).Nanoseconds()
+			} else {
+				t.dropInst(rs, in)
+			}
 		}
 	}
 	for _, rs := range t.rules {
-		// Remove from the rule's alpha memories, remembering which negated
-		// CEs held it.
-		var negHits []int
-		for i, ce := range rs.rule.CEs {
-			if _, ok := rs.alphas[i][w]; !ok {
-				continue
-			}
-			rs.alphaRemove(i, w)
-			if ce.Negated {
-				negHits = append(negHits, i)
-			}
+		if t.profile {
+			start := time.Now()
+			t.removeWMERule(rs, w)
+			rs.prof.matchNS += time.Since(start).Nanoseconds()
+		} else {
+			t.removeWMERule(rs, w)
 		}
-		// Combinations that only w was blocking are now live.
-		for _, i := range negHits {
-			t.seedJoin(rs, -1, w, rs.rule.CEs[i])
+	}
+}
+
+// removeWMERule is one rule's slice of a removal: alpha maintenance plus
+// removal-enablement joins for negated CEs that held the WME.
+func (t *Treat) removeWMERule(rs *ruleState, w *wm.WME) {
+	// Remove from the rule's alpha memories, remembering which negated
+	// CEs held it.
+	var negHits []int
+	for i, ce := range rs.rule.CEs {
+		if _, ok := rs.alphas[i][w]; !ok {
+			continue
 		}
+		rs.alphaRemove(i, w)
+		if ce.Negated {
+			negHits = append(negHits, i)
+		}
+	}
+	// Combinations that only w was blocking are now live.
+	for _, i := range negHits {
+		t.seedJoin(rs, -1, w, rs.rule.CEs[i])
 	}
 }
 
@@ -328,6 +381,7 @@ func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, s
 		// CEs only need to check the bucket of the joined value.
 		cands, skip := rs.candidates(ceIdx, vec)
 		for w := range cands {
+			rs.prof.probes++
 			if negMatches(ce, w, vec, skip) {
 				return
 			}
@@ -342,6 +396,7 @@ func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, s
 	}
 	p := ce.PosIndex
 	tryWME := func(w *wm.WME, skip int) {
+		rs.prof.probes++
 		for i, jt := range ce.JoinTests {
 			if i == skip {
 				continue
@@ -352,6 +407,7 @@ func (t *Treat) joinFrom(rs *ruleState, ceIdx int, vec []*wm.WME, seedPos int, s
 		}
 		vec[p] = w
 		if match.EvalFilters(ce, vec[:p+1]) {
+			rs.prof.tokens++
 			t.joinFrom(rs, ceIdx+1, vec, seedPos, seed, negSeed)
 		}
 		vec[p] = nil
@@ -378,6 +434,25 @@ func (t *Treat) ConflictSet() []*match.Instantiation {
 	match.SortInstantiations(out)
 	return out
 }
+
+// RuleProfiles returns per-rule match activity in declaration order.
+// MatchNS is populated only when the matcher was built with
+// Options.Profile; counters are always live.
+func (t *Treat) RuleProfiles() []match.RuleProfile {
+	out := make([]match.RuleProfile, len(t.rules))
+	for i, rs := range t.rules {
+		out[i] = match.RuleProfile{
+			Rule:    rs.rule.Name,
+			MatchNS: rs.prof.matchNS,
+			Tokens:  rs.prof.tokens,
+			Probes:  rs.prof.probes,
+			Insts:   rs.prof.insts,
+		}
+	}
+	return out
+}
+
+var _ match.RuleProfiler = (*Treat)(nil)
 
 // MemStats reports current state sizes. TREAT holds no beta tokens.
 func (t *Treat) MemStats() match.MemStats {

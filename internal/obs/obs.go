@@ -1,0 +1,277 @@
+// Package obs provides the observability primitives threaded through the
+// engine, the server, and the CLIs: a structured per-cycle Event built
+// from core.Tracer callbacks, a bounded in-memory Ring served at
+// GET /sessions/{id}/trace, and a JSONL writer/reader used by
+// `parulel -trace=file.jsonl`.
+//
+// The package depends only on core (for the Tracer contract); the server
+// and CLIs depend on it, never the other way around.
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"parulel/internal/core"
+)
+
+// Event is one committed engine cycle in structured form. It is the JSON
+// unit of both the trace endpoint and JSONL trace files, so renaming a
+// field is a wire-format change.
+type Event struct {
+	// Cycle is the 1-based cumulative cycle number.
+	Cycle int `json:"cycle"`
+	// Per-phase wall-clock durations in nanoseconds.
+	MatchNS  int64 `json:"match_ns"`
+	RedactNS int64 `json:"redact_ns"`
+	FireNS   int64 `json:"fire_ns"`
+	ApplyNS  int64 `json:"apply_ns"`
+	// ConflictSet and Eligible are the conflict-set size and its
+	// unrefracted subset after the match phase.
+	ConflictSet int `json:"conflict_set"`
+	Eligible    int `json:"eligible"`
+	// Redacted, RedactionRounds, and Survivors describe the meta-rule
+	// fixpoint outcome.
+	Redacted        int `json:"redacted"`
+	RedactionRounds int `json:"redaction_rounds"`
+	Survivors       int `json:"survivors"`
+	// Fired is the total instantiations fired; RuleFirings breaks it down
+	// by rule name (omitted when nothing fired, e.g. all-redacted cycles).
+	Fired       int            `json:"fired"`
+	RuleFirings map[string]int `json:"rule_firings,omitempty"`
+	// DeltaSize and WriteConflicts describe the reconciled commit.
+	DeltaSize      int  `json:"delta_size"`
+	WriteConflicts int  `json:"write_conflicts"`
+	Halted         bool `json:"halted"`
+}
+
+// builder assembles Events from the core.Tracer callback sequence and
+// hands each completed cycle to emit. Per the Tracer contract, callbacks
+// arrive from a single goroutine; emit is the only point that needs
+// synchronization with readers. A CycleStart not followed by Commit (a
+// quiescence probe) is discarded, as the contract requires.
+type builder struct {
+	pending Event
+	open    bool
+	emit    func(Event)
+}
+
+func (b *builder) CycleStart(n int) {
+	b.pending = Event{Cycle: n}
+	b.open = true
+}
+
+func (b *builder) PhaseEnd(p core.Phase, d time.Duration) {
+	switch p {
+	case core.PhaseMatch:
+		b.pending.MatchNS = d.Nanoseconds()
+	case core.PhaseRedact:
+		b.pending.RedactNS = d.Nanoseconds()
+	case core.PhaseFire:
+		b.pending.FireNS = d.Nanoseconds()
+	case core.PhaseApply:
+		b.pending.ApplyNS = d.Nanoseconds()
+	}
+}
+
+func (b *builder) InstantiationsFound(conflictSet, eligible int) {
+	b.pending.ConflictSet = conflictSet
+	b.pending.Eligible = eligible
+}
+
+func (b *builder) Redacted(redacted, rounds, survivors int) {
+	b.pending.Redacted = redacted
+	b.pending.RedactionRounds = rounds
+	b.pending.Survivors = survivors
+}
+
+func (b *builder) RuleFired(rule string, count int) {
+	if b.pending.RuleFirings == nil {
+		b.pending.RuleFirings = make(map[string]int)
+	}
+	b.pending.RuleFirings[rule] = count
+	b.pending.Fired += count
+}
+
+func (b *builder) Commit(deltaSize, writeConflicts int, halted bool) {
+	if !b.open {
+		return
+	}
+	b.open = false
+	b.pending.DeltaSize = deltaSize
+	b.pending.WriteConflicts = writeConflicts
+	b.pending.Halted = halted
+	b.emit(b.pending)
+}
+
+// Ring is a bounded cycle-event tracer: it keeps the most recent capacity
+// events and counts everything ever recorded. Unlike most tracers it is
+// safe to *read* concurrently with the engine goroutine that feeds it —
+// the trace HTTP endpoint snapshots a session's ring while a run is in
+// flight — so the buffer is mutex-protected.
+type Ring struct {
+	builder
+	mu    sync.Mutex
+	buf   []Event
+	start int // index of the oldest event
+	n     int // events currently held
+	total uint64
+}
+
+var _ core.Tracer = (*Ring)(nil)
+
+// DefaultRingCapacity is used when NewRing is given a non-positive
+// capacity.
+const DefaultRingCapacity = 512
+
+// NewRing returns a ring tracer holding the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	r := &Ring{buf: make([]Event, capacity)}
+	r.builder.emit = r.record
+	return r
+}
+
+func (r *Ring) record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+// Events returns up to limit of the most recent events, oldest first.
+// limit <= 0 means all retained events.
+func (r *Ring) Events(limit int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Event, n)
+	first := r.start + (r.n - n) // skip the oldest beyond limit
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(first+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns the number of events ever recorded, including those that
+// have been overwritten.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Capacity returns the ring's fixed size.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// JSONLWriter is a tracer that encodes each committed cycle as one JSON
+// line. It is not safe for concurrent use; errors are sticky and
+// reported by Err so the engine loop never sees them.
+type JSONLWriter struct {
+	builder
+	enc *json.Encoder
+	err error
+}
+
+var _ core.Tracer = (*JSONLWriter)(nil)
+
+// NewJSONLWriter returns a tracer writing JSONL events to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	j := &JSONLWriter{enc: json.NewEncoder(w)}
+	j.builder.emit = func(e Event) {
+		if j.err == nil {
+			j.err = j.enc.Encode(e)
+		}
+	}
+	return j
+}
+
+// Err returns the first write or encoding error, if any.
+func (j *JSONLWriter) Err() error { return j.err }
+
+// ReadJSONL decodes a stream of JSONL events, tolerating blank lines.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Multi fans callbacks out to several tracers in order. Nil entries are
+// dropped; Multi of zero or one live tracer returns nil or the tracer
+// itself, keeping the engine's nil-check fast path intact.
+func Multi(tracers ...core.Tracer) core.Tracer {
+	live := make(multiTracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiTracer []core.Tracer
+
+func (m multiTracer) CycleStart(n int) {
+	for _, t := range m {
+		t.CycleStart(n)
+	}
+}
+
+func (m multiTracer) PhaseEnd(p core.Phase, d time.Duration) {
+	for _, t := range m {
+		t.PhaseEnd(p, d)
+	}
+}
+
+func (m multiTracer) InstantiationsFound(conflictSet, eligible int) {
+	for _, t := range m {
+		t.InstantiationsFound(conflictSet, eligible)
+	}
+}
+
+func (m multiTracer) Redacted(redacted, rounds, survivors int) {
+	for _, t := range m {
+		t.Redacted(redacted, rounds, survivors)
+	}
+}
+
+func (m multiTracer) RuleFired(rule string, count int) {
+	for _, t := range m {
+		t.RuleFired(rule, count)
+	}
+}
+
+func (m multiTracer) Commit(deltaSize, writeConflicts int, halted bool) {
+	for _, t := range m {
+		t.Commit(deltaSize, writeConflicts, halted)
+	}
+}

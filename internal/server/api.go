@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"parulel/internal/obs"
 	"parulel/internal/wm"
 )
 
@@ -228,6 +229,16 @@ type runResponse struct {
 	WMSize         int    `json:"wm_size"`
 	Output         string `json:"output,omitempty"`
 	OutputTrunc    bool   `json:"output_truncated,omitempty"`
+}
+
+// traceResponse carries a session's recent cycle events. Total counts
+// every cycle ever traced, so total > len(events) means the ring dropped
+// old cycles; capacity is the ring size.
+type traceResponse struct {
+	Session  string      `json:"session"`
+	Total    uint64      `json:"total"`
+	Capacity int         `json:"capacity"`
+	Events   []obs.Event `json:"events"`
 }
 
 // countResponse is the generic mutation reply.

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"time"
 
+	"parulel/internal/match"
 	"parulel/internal/stats"
 )
 
@@ -25,6 +27,12 @@ type collector struct {
 	// Sliding window for percentiles.
 	window    stats.Run
 	windowCap int
+
+	// Per-rule match/fire activity, folded as deltas after each run. The
+	// map is capped at maxRuleSeries names to bound /metrics cardinality;
+	// activity on rules beyond the cap is counted in rulesDropped.
+	rules        map[string]*match.RuleProfile
+	rulesDropped uint64
 
 	// Run/session counters.
 	runsStarted, runsCompleted, runTimeouts, runsCanceled, runErrors   uint64
@@ -51,10 +59,18 @@ type collector struct {
 // percentile computation (~a few MB at most).
 const metricsWindow = 65536
 
+// maxRuleSeries caps the number of distinct rule names tracked in the
+// per-rule profile aggregate (and hence the /metrics label cardinality).
+const maxRuleSeries = 256
+
 var phaseNames = [4]string{"match", "redact", "fire", "apply"}
 
 func newCollector() *collector {
-	c := &collector{windowCap: metricsWindow, fsyncHist: stats.NewHist()}
+	c := &collector{
+		windowCap: metricsWindow,
+		fsyncHist: stats.NewHist(),
+		rules:     make(map[string]*match.RuleProfile),
+	}
 	for i := range c.hists {
 		c.hists[i] = stats.NewHist()
 	}
@@ -82,6 +98,31 @@ func (c *collector) observe(cycles []stats.Cycle) {
 	}
 	c.window.Cycles = append(c.window.Cycles, cycles...)
 	c.window.Truncate(c.windowCap)
+}
+
+// observeRules folds per-rule activity deltas into the aggregate.
+func (c *collector) observeRules(deltas []match.RuleProfile) {
+	if len(deltas) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range deltas {
+		agg := c.rules[d.Rule]
+		if agg == nil {
+			if len(c.rules) >= maxRuleSeries {
+				c.rulesDropped++
+				continue
+			}
+			agg = &match.RuleProfile{Rule: d.Rule}
+			c.rules[d.Rule] = agg
+		}
+		agg.MatchNS += d.MatchNS
+		agg.Tokens += d.Tokens
+		agg.Probes += d.Probes
+		agg.Insts += d.Insts
+		agg.Fires += d.Fires
+	}
 }
 
 // counter bumps (each takes the lock; contention is negligible next to a
@@ -203,6 +244,11 @@ type metricsPayload struct {
 		Phases          map[string]phasePayload `json:"phases"`
 		// Window holds percentiles over the newest cycle records.
 		Window stats.Summary `json:"window"`
+		// Rules attributes match and fire activity per rule, ordered by
+		// match time (then fires, then name). RulesDropped counts folds
+		// lost to the series cap.
+		Rules        []match.RuleProfile `json:"rules"`
+		RulesDropped uint64              `json:"rules_dropped,omitempty"`
 	} `json:"engine"`
 	Durability *durabilityPayload `json:"durability,omitempty"`
 }
@@ -243,6 +289,21 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk int) met
 		}
 	}
 	p.Engine.Window = c.window.Summarize()
+	p.Engine.Rules = make([]match.RuleProfile, 0, len(c.rules))
+	for _, agg := range c.rules {
+		p.Engine.Rules = append(p.Engine.Rules, *agg)
+	}
+	sort.Slice(p.Engine.Rules, func(i, j int) bool {
+		a, b := p.Engine.Rules[i], p.Engine.Rules[j]
+		if a.MatchNS != b.MatchNS {
+			return a.MatchNS > b.MatchNS
+		}
+		if a.Fires != b.Fires {
+			return a.Fires > b.Fires
+		}
+		return a.Rule < b.Rule
+	})
+	p.Engine.RulesDropped = c.rulesDropped
 	if c.durEnabled {
 		p.Durability = &durabilityPayload{
 			WALRecords:        c.walRecords,

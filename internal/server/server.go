@@ -23,10 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parulel/internal/compile"
@@ -80,8 +81,12 @@ type Config struct {
 	// CheckpointEvery rewrites a session's checkpoint and empties its log
 	// after this many WAL records. Default 256.
 	CheckpointEvery int
-	// Log receives one line per notable event; nil means discard.
-	Log *log.Logger
+	// TraceCycles bounds each session's in-memory cycle-trace ring served
+	// at GET /api/v1/sessions/{id}/trace. Default 512.
+	TraceCycles int
+	// Logger receives structured log records (one per notable event plus a
+	// per-request access line); nil means discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -124,8 +129,11 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 256
 	}
-	if c.Log == nil {
-		c.Log = log.New(io.Discard, "", 0)
+	if c.TraceCycles <= 0 {
+		c.TraceCycles = 512
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -138,6 +146,8 @@ type Server struct {
 	metrics *collector
 	start   time.Time
 	store   *store // nil when durability is disabled
+
+	reqID atomic.Uint64 // monotonically increasing request ids
 
 	mu          sync.Mutex
 	sessions    map[string]*session
@@ -185,7 +195,7 @@ func New(cfg Config) (*Server, error) {
 		s.nextID = maxID // never reuse a recoverable session's id
 		s.metrics.enableDurability(st.count())
 		if n := st.count(); n > 0 {
-			cfg.Log.Printf("durability: %d recoverable session(s) under %s", n, cfg.DataDir)
+			cfg.Logger.Info("durability: recoverable sessions found", "count", n, "data_dir", cfg.DataDir)
 		}
 	}
 	s.routes()
@@ -193,10 +203,55 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ctxKey keys the values the request middleware stashes in the context.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// RequestID extracts the server-assigned request id, or 0 when ctx did
+// not pass through ServeHTTP (internal work like the janitor).
+func RequestID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(ctxKeyRequestID).(uint64)
+	return id
+}
+
+// log returns the configured logger annotated with the request id, when
+// the context carries one. Every handler-side log line goes through this
+// so log records correlate with access lines.
+func (s *Server) log(ctx context.Context) *slog.Logger {
+	if id := RequestID(ctx); id != 0 {
+		return s.cfg.Logger.With("request_id", id)
+	}
+	return s.cfg.Logger
+}
+
+// statusWriter records the status code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is assigned an id,
+// propagated via context into handler log lines, and finished with one
+// structured access record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := s.reqID.Add(1)
+	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.cfg.Logger.Info("request",
+		"request_id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_ms", time.Since(t0).Milliseconds())
 }
 
 func (s *Server) routes() {
@@ -210,6 +265,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/facts", s.handleAssert)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.handleRetract)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.handleRun)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.handleWM)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.handleSnapshotExport)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.handleSnapshotImport)
@@ -246,7 +302,7 @@ func (s *Server) closeLogs() {
 	for _, sess := range s.sessions {
 		if sess.dur != nil {
 			if err := sess.dur.close(); err != nil {
-				s.cfg.Log.Printf("session %s: closing wal: %v", sess.id, err)
+				s.cfg.Logger.Error("closing wal", "session_id", sess.id, "err", err)
 			}
 		}
 	}
@@ -282,8 +338,10 @@ func (s *Server) sweep(now time.Time) {
 		if !sess.busy() {
 			s.evictLocked(sess)
 			s.metrics.sessionExpired()
-			s.cfg.Log.Printf("session %s expired (idle %v%s)", sess.id,
-				now.Sub(sess.lastUsed).Round(time.Millisecond), recoverableNote(sess))
+			s.cfg.Logger.Info("session expired",
+				"session_id", sess.id,
+				"idle", now.Sub(sess.lastUsed).Round(time.Millisecond).String(),
+				"fate", recoverableNote(sess))
 		}
 		e = prev
 	}
@@ -298,7 +356,7 @@ func (s *Server) evictLocked(sess *session) {
 	sess.elem = nil
 	if sess.dur != nil {
 		if err := sess.dur.close(); err != nil {
-			s.cfg.Log.Printf("session %s: closing wal: %v", sess.id, err)
+			s.cfg.Logger.Error("closing wal", "session_id", sess.id, "err", err)
 		}
 	}
 }
@@ -307,9 +365,9 @@ func (s *Server) evictLocked(sess *session) {
 // durable sessions rehydrate on next touch, memory-only ones are gone.
 func recoverableNote(sess *session) string {
 	if sess.dur != nil {
-		return "; recoverable on disk"
+		return "recoverable on disk"
 	}
-	return "; state discarded"
+	return "state discarded"
 }
 
 // insertLocked adds sess to the pool, evicting LRU sessions to make room
@@ -334,7 +392,7 @@ func (s *Server) insertLocked(sess *session) error {
 		}
 		s.evictLocked(victim)
 		s.metrics.sessionEvicted()
-		s.cfg.Log.Printf("session %s evicted (pool full%s)", victim.id, recoverableNote(victim))
+		s.cfg.Logger.Info("session evicted", "session_id", victim.id, "reason", "pool full", "fate", recoverableNote(victim))
 	}
 	sess.elem = s.lru.PushFront(sess)
 	s.sessions[sess.id] = sess
@@ -362,8 +420,8 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 			return nil
 		}
-		if err := s.rehydrate(id); err != nil {
-			s.cfg.Log.Printf("session %s: recovery failed: %v", id, err)
+		if err := s.rehydrate(r.Context(), id); err != nil {
+			s.log(r.Context()).Error("session recovery failed", "session_id", id, "err", err)
 			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q (recovery failed: %v)", id, err))
 			return nil
 		}
@@ -401,6 +459,7 @@ func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(ses
 // ---- handlers ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Cache-Control", "no-cache")
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -408,7 +467,14 @@ func (s *Server) handlePrograms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"programs": programs.All()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "prometheus":
+	default:
+		writeError(w, http.StatusNotAcceptable, fmt.Sprintf("unknown format %q (want json or prometheus)", format))
+		return
+	}
 	s.mu.Lock()
 	live, active := len(s.sessions), s.active
 	s.mu.Unlock()
@@ -416,7 +482,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.store != nil {
 		onDisk = s.store.count()
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start), live, active, onDisk))
+	p := s.metrics.snapshot(time.Since(s.start), live, active, onDisk)
+	w.Header().Set("Cache-Control", "no-cache")
+	if format == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, p)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// handleTrace serves the session's recent cycle events. It deliberately
+// does NOT take the session slot: the trace ring is internally locked, so
+// a trace can be read while a long run is still executing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	events := sess.trace.Events(limit)
+	writeJSON(w, http.StatusOK, traceResponse{
+		Session:  sess.id,
+		Total:    sess.trace.Total(),
+		Capacity: sess.trace.Capacity(),
+		Events:   events,
+	})
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -474,7 +574,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	id := "s" + strconv.FormatUint(s.nextID, 10)
 	s.mu.Unlock()
 
-	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, time.Now(), false)
+	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, s.cfg.TraceCycles, time.Now(), false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -504,7 +604,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		info := sess.info(sess.lastUsed)
 		s.mu.Unlock()
 		s.metrics.sessionCreated()
-		s.cfg.Log.Printf("session %s created (program=%s workers=%d matcher=%s durable=%v)", id, name, workers, sess.matcher, sess.dur != nil)
+		s.log(r.Context()).Info("session created",
+			"session_id", id, "program", name, "workers", workers,
+			"matcher", sess.matcher, "durable", sess.dur != nil)
 		writeJSON(w, http.StatusCreated, info)
 		return
 	}
@@ -512,7 +614,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if sess.dur != nil {
 		sess.dur.close()
 		if rerr := s.store.remove(id); rerr != nil {
-			s.cfg.Log.Printf("session %s: removing data dir: %v", id, rerr)
+			s.log(r.Context()).Error("removing data dir", "session_id", id, "err", rerr)
 		}
 	}
 	writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -552,7 +654,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	onDisk := s.store != nil && s.store.has(id)
 	if onDisk {
 		if err := s.store.remove(id); err != nil {
-			s.cfg.Log.Printf("session %s: removing data dir: %v", id, err)
+			s.log(r.Context()).Error("removing data dir", "session_id", id, "err", err)
 		}
 	}
 	if !ok && !onDisk {
@@ -560,7 +662,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.sessionDeleted()
-	s.cfg.Log.Printf("session %s deleted", id)
+	s.log(r.Context()).Info("session deleted", "session_id", id)
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 }
 
@@ -578,7 +680,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 				// The successfully inserted prefix is part of the session's
 				// history and must be logged even though the request fails.
 				if len(inserted) > 0 {
-					s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
+					s.persist(r.Context(), sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
 				}
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
 				return
@@ -586,7 +688,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 			inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields)})
 			n++
 		}
-		if len(inserted) > 0 && !s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted}) {
+		if len(inserted) > 0 && !s.persist(r.Context(), sess, &wal.Record{Op: wal.OpAssert, Facts: inserted}) {
 			writeError(w, http.StatusInternalServerError, "facts asserted in memory but not durably logged")
 			return
 		}
@@ -612,7 +714,7 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		}
 		if n > 0 {
 			rec := wal.Record{Op: wal.OpRetract, Template: req.Template, Fields: wal.EncodeFields(fields), Count: n}
-			if !s.persist(sess, &rec) {
+			if !s.persist(r.Context(), sess, &rec) {
 				writeError(w, http.StatusInternalServerError, "facts retracted in memory but not durably logged")
 				return
 			}
@@ -712,11 +814,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.metrics.observe(res.Stats.Cycles[prevStats:])
 			sess.statCycles = len(res.Stats.Cycles)
 		}
+		// Likewise the per-rule profile deltas accumulated by this run.
+		s.metrics.observeRules(sess.profileDeltas())
 
 		// Log the run boundary — the committed cycle delta, never wall
 		// clock — regardless of outcome: a timed-out or canceled run still
 		// advanced the engine by exactly that many committed cycles.
-		persisted := s.persist(sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
+		persisted := s.persist(ctx, sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
 
 		output, trunc := sess.out.take()
 		resp := runResponse{
@@ -749,7 +853,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			sess.timeouts++
 			s.metrics.runTimeout()
-			s.cfg.Log.Printf("session %s run timed out after %v (%d cycles committed)", sess.id, timeout, resp.Cycles)
+			s.log(ctx).Warn("run timed out",
+				"session_id", sess.id, "timeout", timeout.String(), "cycles_committed", resp.Cycles)
 			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
 				"error":  fmt.Sprintf("run exceeded its %v deadline; %d cycles committed, session still usable", timeout, resp.Cycles),
 				"result": resp,
@@ -809,7 +914,7 @@ func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := snapshot.Write(w, sess.eng.Memory()); err != nil {
 			// Headers are gone; all we can do is log.
-			s.cfg.Log.Printf("session %s snapshot export failed: %v", sess.id, err)
+			s.log(r.Context()).Error("snapshot export failed", "session_id", sess.id, "err", err)
 		}
 	})
 }
@@ -833,7 +938,7 @@ func (s *Server) handleSnapshotImport(w http.ResponseWriter, r *http.Request) {
 		for _, f := range st.facts {
 			if _, err := sess.eng.Insert(f.template, f.fields); err != nil {
 				if len(inserted) > 0 {
-					s.persist(sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
+					s.persist(r.Context(), sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
 				}
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
 				return
@@ -841,7 +946,7 @@ func (s *Server) handleSnapshotImport(w http.ResponseWriter, r *http.Request) {
 			inserted = append(inserted, wal.Fact{Template: f.template, Fields: wal.EncodeFields(f.fields)})
 			n++
 		}
-		if n > 0 && !s.persist(sess, &wal.Record{Op: wal.OpImport, Text: string(body), Count: n}) {
+		if n > 0 && !s.persist(r.Context(), sess, &wal.Record{Op: wal.OpImport, Text: string(body), Count: n}) {
 			writeError(w, http.StatusInternalServerError, "facts imported in memory but not durably logged")
 			return
 		}

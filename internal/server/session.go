@@ -12,6 +12,7 @@ import (
 	"parulel/internal/match"
 	"parulel/internal/match/rete"
 	"parulel/internal/match/treat"
+	"parulel/internal/obs"
 	"parulel/internal/wm"
 )
 
@@ -27,6 +28,9 @@ type session struct {
 	eng     *core.Engine
 	out     *capWriter
 	created time.Time
+	// trace records the most recent engine cycles. Internally locked, so
+	// the trace endpoint reads it without taking the session slot.
+	trace *obs.Ring
 
 	// dur is the session's durability handle; nil when the server runs
 	// without a data directory.
@@ -47,6 +51,10 @@ type session struct {
 	timeouts   int
 	lastResult core.Result
 	statCycles int // cycles already folded into the server metrics
+	// lastProfs snapshots the engine's cumulative per-rule profiles as of
+	// the last fold into the server metrics, so each run contributes
+	// exactly its own delta.
+	lastProfs map[string]match.RuleProfile
 }
 
 // acquire takes the session's slot, waiting until the context ends.
@@ -99,23 +107,28 @@ func (s *session) info(lastUsed time.Time) sessionInfo {
 // fresh engine with a capped output buffer. restore skips the program's
 // initial facts: a checkpointed working memory already contains them
 // under their original time tags.
-func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap int, now time.Time, restore bool) (*session, error) {
+func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap, traceCycles int, now time.Time, restore bool) (*session, error) {
+	// Server sessions always run with per-rule profiling on: the timing
+	// cost is a few clock reads per delta, and /metrics per-rule
+	// attribution is the product surface.
 	var factory match.Factory
 	switch matcherName {
 	case "", "rete":
-		matcherName, factory = "rete", rete.New
+		matcherName, factory = "rete", rete.Factory(rete.Options{Profile: true})
 	case "treat":
-		factory = treat.New
+		factory = treat.Factory(treat.Options{Profile: true})
 	default:
 		return nil, fmt.Errorf("unknown matcher %q (want rete or treat)", matcherName)
 	}
 	out := &capWriter{limit: outputCap}
+	trace := obs.NewRing(traceCycles)
 	eng := core.New(prog, core.Options{
 		Workers:        workers,
 		Matcher:        factory,
 		Output:         out,
 		MaxCycles:      maxCycles,
 		NoInitialFacts: restore,
+		Tracer:         trace,
 	})
 	return &session{
 		id:       id,
@@ -124,10 +137,41 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 		matcher:  matcherName,
 		eng:      eng,
 		out:      out,
+		trace:    trace,
 		created:  now,
 		lastUsed: now,
 		slot:     make(chan struct{}, 1),
 	}, nil
+}
+
+// profileDeltas returns the per-rule activity accumulated since the last
+// call and advances the snapshot. Rules with no new activity are elided.
+// Caller holds the slot.
+func (s *session) profileDeltas() []match.RuleProfile {
+	cur := s.eng.RuleProfiles()
+	if len(cur) == 0 {
+		return nil
+	}
+	if s.lastProfs == nil {
+		s.lastProfs = make(map[string]match.RuleProfile, len(cur))
+	}
+	deltas := make([]match.RuleProfile, 0, len(cur))
+	for _, p := range cur {
+		prev := s.lastProfs[p.Rule]
+		d := match.RuleProfile{
+			Rule:    p.Rule,
+			MatchNS: p.MatchNS - prev.MatchNS,
+			Tokens:  p.Tokens - prev.Tokens,
+			Probes:  p.Probes - prev.Probes,
+			Insts:   p.Insts - prev.Insts,
+			Fires:   p.Fires - prev.Fires,
+		}
+		s.lastProfs[p.Rule] = p
+		if d.MatchNS != 0 || d.Tokens != 0 || d.Probes != 0 || d.Insts != 0 || d.Fires != 0 {
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas
 }
 
 // retractMatching removes every live WME of the template whose fields

@@ -16,6 +16,7 @@ package server
 // from LRU eviction, which closes the log but keeps the files.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -236,7 +237,8 @@ func syncDir(dir string) error {
 // checkpointSession writes a checkpoint for sess and truncates its log.
 // Failure keeps the log intact — recovery still works, it just replays
 // more — and is reported to the caller. Caller holds the session slot.
-func (s *Server) checkpointSession(sess *session) error {
+// ctx carries the request id into the failure log line.
+func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 	d := sess.dur
 	h := checkpoint.Header{
 		Seq:       d.log.Seq(),
@@ -254,7 +256,7 @@ func (s *Server) checkpointSession(sess *session) error {
 	err := d.checkpoint(h, sess.eng.Memory())
 	s.metrics.checkpointDone(time.Since(t0), err)
 	if err != nil {
-		s.cfg.Log.Printf("session %s checkpoint failed (log retained): %v", sess.id, err)
+		s.log(ctx).Error("checkpoint failed (log retained)", "session_id", sess.id, "err", err)
 	}
 	return err
 }
@@ -264,7 +266,7 @@ func (s *Server) checkpointSession(sess *session) error {
 // supersedes the lost record — and only if that also fails is the
 // session's durability marked broken. A false return means the mutation
 // is applied in memory but not on disk.
-func (s *Server) persist(sess *session, rec *wal.Record) bool {
+func (s *Server) persist(ctx context.Context, sess *session, rec *wal.Record) bool {
 	d := sess.dur
 	if d == nil {
 		return true
@@ -272,14 +274,14 @@ func (s *Server) persist(sess *session, rec *wal.Record) bool {
 	err := d.append(rec)
 	if err == nil {
 		if d.due(s.cfg.CheckpointEvery) {
-			_ = s.checkpointSession(sess) // failure retains the log; nothing is lost
+			_ = s.checkpointSession(ctx, sess) // failure retains the log; nothing is lost
 		}
 		return true
 	}
-	s.cfg.Log.Printf("session %s: wal append failed: %v", sess.id, err)
-	if cerr := s.checkpointSession(sess); cerr != nil {
+	s.log(ctx).Error("wal append failed", "session_id", sess.id, "err", err)
+	if cerr := s.checkpointSession(ctx, sess); cerr != nil {
 		d.markFailed()
-		s.cfg.Log.Printf("session %s: durability disabled (append and checkpoint both failed)", sess.id)
+		s.log(ctx).Error("durability disabled (append and checkpoint both failed)", "session_id", sess.id)
 		return false
 	}
 	return true
@@ -288,7 +290,7 @@ func (s *Server) persist(sess *session, rec *wal.Record) bool {
 // rehydrate rebuilds session id from its on-disk state and inserts it
 // into the pool. Concurrent requests for the same id collapse onto one
 // rebuild; every caller re-checks the pool afterwards.
-func (s *Server) rehydrate(id string) error {
+func (s *Server) rehydrate(ctx context.Context, id string) error {
 	s.mu.Lock()
 	if _, ok := s.sessions[id]; ok {
 		s.mu.Unlock()
@@ -309,7 +311,7 @@ func (s *Server) rehydrate(id string) error {
 		close(ch)
 	}()
 
-	sess, err := s.loadSession(id)
+	sess, err := s.loadSession(ctx, id)
 	if err != nil {
 		s.metrics.recoveryFailed()
 		return err
@@ -329,8 +331,9 @@ func (s *Server) rehydrate(id string) error {
 		return err
 	}
 	s.metrics.sessionRehydrated()
-	s.cfg.Log.Printf("session %s rehydrated (program=%s wm=%d runs=%d cycles=%d)",
-		id, sess.program, sess.eng.Memory().Len(), sess.runs, sess.lastResult.Cycles)
+	s.log(ctx).Info("session rehydrated",
+		"session_id", id, "program", sess.program, "wm_size", sess.eng.Memory().Len(),
+		"runs", sess.runs, "cycles", sess.lastResult.Cycles)
 	return nil
 }
 
@@ -338,7 +341,7 @@ func (s *Server) rehydrate(id string) error {
 // replay of the log records behind it. A corrupt checkpoint is ignored —
 // the log alone reproduces the session when it has never been truncated
 // by an earlier checkpoint; otherwise recovery fails.
-func (s *Server) loadSession(id string) (*session, error) {
+func (s *Server) loadSession(ctx context.Context, id string) (*session, error) {
 	dir := s.store.dir(id)
 
 	var (
@@ -350,7 +353,7 @@ func (s *Server) loadSession(id string) (*session, error) {
 		h, facts, err = checkpoint.Read(f)
 		f.Close()
 		if err != nil {
-			s.cfg.Log.Printf("session %s: ignoring unreadable checkpoint: %v", id, err)
+			s.log(ctx).Warn("ignoring unreadable checkpoint", "session_id", id, "err", err)
 		} else {
 			haveCkpt = true
 		}
@@ -368,7 +371,7 @@ func (s *Server) loadSession(id string) (*session, error) {
 	}()
 	if scanRes.TruncatedBytes > 0 {
 		s.metrics.walTruncated(scanRes.TruncatedBytes)
-		s.cfg.Log.Printf("session %s: dropped %d bytes of torn wal tail", id, scanRes.TruncatedBytes)
+		s.log(ctx).Warn("dropped torn wal tail", "session_id", id, "bytes", scanRes.TruncatedBytes)
 	}
 	if haveCkpt {
 		// The checkpoint truncated the log, so the scan above cannot see
@@ -403,7 +406,7 @@ func (s *Server) loadSession(id string) (*session, error) {
 	// their original tags; log-only recovery replants them exactly as the
 	// original creation did.
 	sess, err := newSession(id, meta.Program, prog, meta.Workers, meta.Matcher,
-		meta.MaxCycles, s.cfg.MaxOutputBytes, created, haveCkpt)
+		meta.MaxCycles, s.cfg.MaxOutputBytes, s.cfg.TraceCycles, created, haveCkpt)
 	if err != nil {
 		return nil, err
 	}
@@ -432,6 +435,7 @@ func (s *Server) loadSession(id string) (*session, error) {
 		// Replay-produced cycle records must not be folded into /metrics.
 		sess.statCycles = len(sess.lastResult.Stats.Cycles)
 	}
+	sess.profileDeltas() // likewise replay-produced per-rule activity
 	sess.dur = &durable{st: s.store, id: id, dir: dir, log: l, meta: meta, records: replayed}
 	ok = true
 	return sess, nil

@@ -200,6 +200,13 @@ const (
 	PartitionLPT        = core.PartitionLPT
 )
 
+// Tracer receives structured per-cycle callbacks from the PARULEL
+// engine (cycle boundaries, phase durations, redaction outcomes, rule
+// firings, commits). The callback contract — ordering, the quiescence
+// probe, threading — is documented on core.Tracer; docs/OBSERVABILITY.md
+// has the narrative version. A nil Tracer costs nothing.
+type Tracer = core.Tracer
+
 // Config configures an Engine.
 type Config struct {
 	Engine    EngineKind
@@ -208,6 +215,9 @@ type Config struct {
 	Output    io.Writer // destination of (write …); default discard
 	MaxCycles int       // 0 = unlimited
 	Trace     io.Writer // optional per-cycle trace (PARULEL only)
+	// Tracer receives structured cycle events (PARULEL only); it composes
+	// with Trace, which stays a human-readable text log.
+	Tracer Tracer
 	// Partition selects the rule distribution strategy (PARULEL only).
 	Partition Partition
 	// SequentialRedaction selects the sequential redaction semantics
@@ -261,6 +271,7 @@ func NewEngine(p *Program, cfg Config) *Engine {
 			Output:              cfg.Output,
 			MaxCycles:           cfg.MaxCycles,
 			Trace:               cfg.Trace,
+			Tracer:              cfg.Tracer,
 			Partition:           cfg.Partition,
 			SequentialRedaction: cfg.SequentialRedaction,
 		})}
