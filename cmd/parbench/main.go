@@ -7,6 +7,8 @@
 //	parbench -quick           small sizes (seconds, for smoke tests)
 //	parbench -json            machine-readable suite run → BENCH_results.json
 //	parbench -json -out f     …written to f instead ("-" for stdout)
+//	parbench -serve           single-op vs batched ingest against an in-process server
+//	parbench -serve -json     …merged into the -out document under "serve"
 //	parbench -durability      WAL fsync policy cost at the session write path
 //	parbench -ruleprofile     per-rule match-time attribution tables
 //	parbench -cpuprofile f    write a pprof CPU profile of the run to f
@@ -30,6 +32,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
+	serve := flag.Bool("serve", false, "benchmark server-level ingest (single-op vs batched) against an in-process paruleld")
 	durability := flag.Bool("durability", false, "run the durability benchmark (WAL fsync policy comparison) instead of the experiment tables")
 	ruleProfile := flag.Bool("ruleprofile", false, "print per-rule match attribution tables instead of the experiment tables")
 	top := flag.Int("top", 10, "rules shown per workload under -ruleprofile (the rest fold into one row)")
@@ -66,6 +69,26 @@ func main() {
 				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
 			}
 		}()
+	}
+
+	if *serve {
+		doc, err := bench.RunServe(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.MergeServeJSON(*out, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: serve: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "-" {
+				fmt.Fprintf(os.Stderr, "parbench: merged serve results into %s (speedup %.2fx)\n", *out, doc.BatchSpeedup)
+			}
+		} else {
+			bench.WriteServeTable(os.Stdout, doc)
+		}
+		return
 	}
 
 	if *durability {

@@ -1,0 +1,111 @@
+// Command parload generates mixed traffic against a running paruleld and
+// reports throughput and latency quantiles as JSON.
+//
+//	parload -url http://localhost:8467 -d 10s -c 8
+//	parload -mix assert=4,batch=2,run=1,snapshot=1 -batch 16
+//	parload -min-mutations-per-sec 100 -max-5xx 0    # CI smoke gate
+//
+// The self-check flags make the process exit nonzero when the run violates
+// the given bounds, so CI can gate on a load run without parsing JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parulel/internal/load"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8467", "base URL of the paruleld instance")
+	sessions := flag.Int("sessions", 4, "sessions to create and spread traffic over")
+	concurrency := flag.Int("c", 8, "concurrent client goroutines")
+	duration := flag.Duration("d", 10*time.Second, "how long to generate load")
+	mixSpec := flag.String("mix", "assert=4,batch=2,run=1,snapshot=1", "op mix weights, kind=weight comma-separated")
+	batchSize := flag.Int("batch", 16, "facts per batch request")
+	workers := flag.Int("workers", 0, "engine workers per session (0 = server default)")
+	runTimeout := flag.Duration("run-timeout", 10*time.Second, "deadline sent with run ops")
+	seed := flag.Int64("seed", 1, "RNG seed for the op mix")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	max5xx := flag.Int("max-5xx", -1, "self-check: fail when more than this many 5xx responses (-1 = off)")
+	minMutPerSec := flag.Float64("min-mutations-per-sec", 0, "self-check: fail when mutation throughput is below this")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fail("bad -mix: %v", err)
+	}
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURL:     *url,
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Mix:         mix,
+		BatchSize:   *batchSize,
+		Workers:     *workers,
+		RunTimeout:  *runTimeout,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fail("load run failed: %v", err)
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fail("writing report: %v", err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *max5xx >= 0 && rep.Errors5xx > *max5xx {
+		fail("self-check: %d 5xx responses (limit %d)", rep.Errors5xx, *max5xx)
+	}
+	if *minMutPerSec > 0 && rep.MutationsPerSec < *minMutPerSec {
+		fail("self-check: %.1f mutations/sec below the %.1f floor", rep.MutationsPerSec, *minMutPerSec)
+	}
+}
+
+func parseMix(spec string) (load.Mix, error) {
+	var m load.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("want kind=weight, got %q", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad weight %q", val)
+		}
+		switch kind {
+		case "assert":
+			m.Assert = w
+		case "batch":
+			m.Batch = w
+		case "run":
+			m.Run = w
+		case "snapshot":
+			m.Snapshot = w
+		default:
+			return m, fmt.Errorf("unknown op kind %q", kind)
+		}
+	}
+	return m, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "parload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -33,6 +33,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "session pool size (LRU eviction beyond it)")
 	idleTTL := flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle for this long")
 	maxRuns := flag.Int("max-runs", 8, "engines running concurrently server-wide")
+	maxInflight := flag.Int("max-inflight", 0, "admitted runs (executing+queued) before 429; 0 = 8×max-runs, negative = unlimited")
+	queueDepth := flag.Int("queue-depth", 32, "per-session mutation queue depth before 429; negative = unlimited")
+	runSlice := flag.Int("run-slice", 0, "engine cycles per run-queue slot before requeueing (0 = run to quiescence in one slot)")
 	runTimeout := flag.Duration("run-timeout", 30*time.Second, "default per-run deadline")
 	maxRunTimeout := flag.Duration("max-run-timeout", 5*time.Minute, "cap on client-requested run deadlines")
 	workers := flag.Int("workers", 4, "default match/fire workers per session engine")
@@ -67,18 +70,21 @@ func main() {
 		fatal("bad -fsync policy", err)
 	}
 	cfg := server.Config{
-		MaxSessions:       *maxSessions,
-		IdleTTL:           *idleTTL,
-		MaxConcurrentRuns: *maxRuns,
-		DefaultRunTimeout: *runTimeout,
-		MaxRunTimeout:     *maxRunTimeout,
-		DefaultWorkers:    *workers,
-		DataDir:           *dataDir,
-		Fsync:             policy,
-		FsyncInterval:     *fsyncInterval,
-		CheckpointEvery:   *checkpointEvery,
-		TraceCycles:       *traceCycles,
-		Logger:            logger,
+		MaxSessions:        *maxSessions,
+		IdleTTL:            *idleTTL,
+		MaxConcurrentRuns:  *maxRuns,
+		MaxInflightRuns:    *maxInflight,
+		MutationQueueDepth: *queueDepth,
+		RunSlice:           *runSlice,
+		DefaultRunTimeout:  *runTimeout,
+		MaxRunTimeout:      *maxRunTimeout,
+		DefaultWorkers:     *workers,
+		DataDir:            *dataDir,
+		Fsync:              policy,
+		FsyncInterval:      *fsyncInterval,
+		CheckpointEvery:    *checkpointEvery,
+		TraceCycles:        *traceCycles,
+		Logger:             logger,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

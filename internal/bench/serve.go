@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"parulel/internal/load"
+	"parulel/internal/server"
+)
+
+// Server-level benchmark (`parbench -serve`): starts an in-process paruleld
+// over httptest, drives it with internal/load twice — once all single-fact
+// asserts, once all batched asserts — and reports end-to-end mutation
+// throughput for each plus their ratio. This is the number the batch
+// endpoint exists for: how much ingest the same HTTP surface sustains when
+// clients amortize the per-request WAL frame and session round-trip.
+
+// ServeRun is one load shape's measurement.
+type ServeRun struct {
+	Mix             load.Mix                `json:"mix"`
+	Requests        int                     `json:"requests"`
+	RequestsPerSec  float64                 `json:"requests_per_sec"`
+	Mutations       int                     `json:"mutations"`
+	MutationsPerSec float64                 `json:"mutations_per_sec"`
+	Errors5xx       int                     `json:"errors_5xx"`
+	Rejected429     int                     `json:"rejected_429"`
+	Ops             map[string]load.OpStats `json:"ops"`
+}
+
+// ServeDoc is the `-serve` document, merged into BENCH_*.json under "serve".
+type ServeDoc struct {
+	Schema      string   `json:"schema"` // "parulel-serve/v1"
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	Quick       bool     `json:"quick"`
+	Concurrency int      `json:"concurrency"`
+	DurationMS  int64    `json:"duration_ms"` // per load shape
+	BatchSize   int      `json:"batch_size"`
+	SingleOp    ServeRun `json:"single_op"`
+	Batched     ServeRun `json:"batched"`
+	// BatchSpeedup is batched/single-op mutation throughput — the headline
+	// ratio (target: ≥4× at concurrency 8).
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+// RunServe measures single-op vs batched ingest against a fresh in-process
+// server with a real WAL under a temporary directory.
+func RunServe(quick bool) (*ServeDoc, error) {
+	dur := 5 * time.Second
+	if quick {
+		dur = 2 * time.Second
+	}
+	doc := &ServeDoc{
+		Schema:      "parulel-serve/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+		Concurrency: 8,
+		DurationMS:  dur.Milliseconds(),
+		BatchSize:   32,
+	}
+	shapes := []struct {
+		out *ServeRun
+		mix load.Mix
+	}{
+		{&doc.SingleOp, load.Mix{Assert: 1}},
+		{&doc.Batched, load.Mix{Batch: 1}},
+	}
+	for _, shape := range shapes {
+		// A fresh server per shape so the second run's working memory and
+		// WAL don't start with the first run's volume.
+		rep, err := oneServeRun(shape.mix, dur, doc.Concurrency, doc.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		*shape.out = ServeRun{
+			Mix:             rep.Config.Mix,
+			Requests:        rep.Requests,
+			RequestsPerSec:  rep.RequestsPerSec,
+			Mutations:       rep.Mutations,
+			MutationsPerSec: rep.MutationsPerSec,
+			Errors5xx:       rep.Errors5xx,
+			Rejected429:     rep.Rejected429,
+			Ops:             rep.Ops,
+		}
+	}
+	if doc.SingleOp.MutationsPerSec > 0 {
+		doc.BatchSpeedup = doc.Batched.MutationsPerSec / doc.SingleOp.MutationsPerSec
+	}
+	return doc, nil
+}
+
+func oneServeRun(mix load.Mix, dur time.Duration, concurrency, batchSize int) (*load.Report, error) {
+	dir, err := os.MkdirTemp("", "parulel-serve-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{DataDir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("starting server: %w", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	}()
+	return load.Run(context.Background(), load.Config{
+		BaseURL:     ts.URL,
+		Concurrency: concurrency,
+		Duration:    dur,
+		Mix:         mix,
+		BatchSize:   batchSize,
+	})
+}
+
+// WriteServeTable renders the document for terminal use.
+func WriteServeTable(w io.Writer, doc *ServeDoc) {
+	fmt.Fprintf(w, "serve: single-op vs batched ingest (c=%d, %s per shape, batch=%d)\n",
+		doc.Concurrency, time.Duration(doc.DurationMS)*time.Millisecond, doc.BatchSize)
+	fmt.Fprintf(w, "  %-10s %10s %12s %14s %6s %6s\n", "shape", "requests", "req/s", "mutations/s", "5xx", "429")
+	for _, row := range []struct {
+		name string
+		r    ServeRun
+	}{{"single-op", doc.SingleOp}, {"batched", doc.Batched}} {
+		fmt.Fprintf(w, "  %-10s %10d %12.1f %14.1f %6d %6d\n",
+			row.name, row.r.Requests, row.r.RequestsPerSec, row.r.MutationsPerSec, row.r.Errors5xx, row.r.Rejected429)
+	}
+	fmt.Fprintf(w, "  batch speedup: %.2fx\n", doc.BatchSpeedup)
+}
+
+// MergeServeJSON writes the serve document into path under a "serve" key,
+// preserving every other key of an existing BENCH_*.json ("-" = stdout,
+// serve document only).
+func MergeServeJSON(path string, doc *ServeDoc) error {
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	merged := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &merged); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged["serve"] = doc
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -335,19 +335,35 @@ func (e *Engine) Run() (Result, error) { return e.RunContext(context.Background(
 // working memory is always in a consistent committed state and the run can
 // be resumed with a fresh context.
 func (e *Engine) RunContext(ctx context.Context) (Result, error) {
+	res, _, err := e.RunBounded(ctx, 0)
+	return res, err
+}
+
+// RunBounded is RunContext with a per-call cycle budget: it commits at
+// most limit cycles (0 = unbounded) and then returns with more=true when
+// the engine has neither quiesced nor halted — the caller may resume with
+// another RunBounded call. The server's -run-slice scheduling is built on
+// this: a long run is split into slices so one session cannot monopolize
+// an engine slot.
+func (e *Engine) RunBounded(ctx context.Context, limit int) (Result, bool, error) {
+	stepped := 0
 	for {
 		if err := ctx.Err(); err != nil {
-			return e.result, fmt.Errorf("%w: %w", ErrCanceled, err)
+			return e.result, true, fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
 		progress, err := e.Step()
 		if err != nil {
-			return e.result, err
+			return e.result, false, err
 		}
 		if !progress {
-			return e.result, nil
+			return e.result, false, nil
 		}
 		if e.opts.MaxCycles > 0 && e.result.Cycles >= e.opts.MaxCycles {
-			return e.result, fmt.Errorf("%w (%d)", ErrMaxCycles, e.opts.MaxCycles)
+			return e.result, false, fmt.Errorf("%w (%d)", ErrMaxCycles, e.opts.MaxCycles)
+		}
+		stepped++
+		if limit > 0 && stepped >= limit {
+			return e.result, true, nil
 		}
 	}
 }

@@ -1,0 +1,345 @@
+// Package load is a mixed-traffic generator for paruleld: N client
+// goroutines spread assert/batch/run/snapshot requests over a set of
+// sessions for a fixed duration and report throughput plus latency
+// quantiles per operation. It drives the public HTTP API only — the same
+// surface real clients use — so its numbers are end-to-end (routing, JSON,
+// admission control, WAL, engine), not engine microbenchmarks.
+//
+// It is used three ways: by cmd/parload (standalone CLI), by
+// `parbench -serve` (recording server-level numbers into BENCH_*.json),
+// and by the server's soak tests.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"parulel/internal/stats"
+)
+
+// DefaultSource is the workload program: each asserted item fires the
+// touch rule exactly once, so run cost scales with the asserted volume and
+// never spins unboundedly.
+const DefaultSource = `
+(literalize item k state)
+(rule touch
+  <i> <- (item ^k <k> ^state new)
+-->
+  (modify <i> ^state done))
+`
+
+// Mix weights the operation kinds. A zero weight disables the kind; an
+// all-zero Mix defaults to {Assert: 4, Batch: 2, Run: 1, Snapshot: 1}.
+type Mix struct {
+	Assert   int `json:"assert"`   // single-fact POST /facts
+	Batch    int `json:"batch"`    // POST /batch with BatchSize asserts
+	Run      int `json:"run"`      // POST /run
+	Snapshot int `json:"snapshot"` // GET /snapshot
+}
+
+func (m Mix) total() int { return m.Assert + m.Batch + m.Run + m.Snapshot }
+
+// Config parameterizes one load run.
+type Config struct {
+	BaseURL     string        `json:"base_url"`
+	Sessions    int           `json:"sessions"`    // sessions created and targeted; default 4
+	Concurrency int           `json:"concurrency"` // client goroutines; default 8
+	Duration    time.Duration `json:"-"`
+	Mix         Mix           `json:"mix"`
+	BatchSize   int           `json:"batch_size"` // facts per batch op; default 16
+	Source      string        `json:"-"`          // program source; default DefaultSource
+	Workers     int           `json:"workers,omitempty"`
+	RunTimeout  time.Duration `json:"-"`
+	Seed        int64         `json:"seed"`
+	Client      *http.Client  `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = Mix{Assert: 4, Batch: 2, Run: 1, Snapshot: 1}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Source == "" {
+		c.Source = DefaultSource
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// OpStats aggregates one operation kind's outcomes.
+type OpStats struct {
+	Count       int     `json:"count"`
+	Errors      int     `json:"errors"`       // non-2xx other than 429
+	Rejected429 int     `json:"rejected_429"` // backpressure fast-fails
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// Report is the JSON result document.
+type Report struct {
+	Config          Config             `json:"config"`
+	DurationMS      int64              `json:"duration_ms"`
+	Requests        int                `json:"requests"`
+	RequestsPerSec  float64            `json:"requests_per_sec"`
+	Mutations       int                `json:"mutations"` // facts asserted (single + batched)
+	MutationsPerSec float64            `json:"mutations_per_sec"`
+	Errors5xx       int                `json:"errors_5xx"`
+	Rejected429     int                `json:"rejected_429"`
+	Ops             map[string]OpStats `json:"ops"`
+	StatusCounts    map[string]int     `json:"status_counts"`
+}
+
+// sample is one completed request, recorded lock-free per worker and
+// merged at the end.
+type sample struct {
+	op      string
+	status  int
+	latency time.Duration
+	facts   int // mutations this request asserted (0 unless 2xx)
+}
+
+// Run executes the load shape against a live server and aggregates the
+// results. It creates Config.Sessions fresh sessions, drives traffic for
+// Config.Duration, and leaves the sessions in place (the server's LRU/TTL
+// owns their lifecycle).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+
+	sessions := make([]string, cfg.Sessions)
+	for i := range sessions {
+		id, err := createSession(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("creating session %d: %w", i, err)
+		}
+		sessions[i] = id
+	}
+
+	deadline, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	perWorker := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			var local []sample
+			for n := 0; ; n++ {
+				if deadline.Err() != nil {
+					break
+				}
+				sessID := sessions[rng.Intn(len(sessions))]
+				op := pick(cfg.Mix, rng)
+				// Unique fact keys per worker so lost mutations are
+				// detectable by counting (soak tests rely on this).
+				key := fmt.Sprintf("w%d-%d", w, n)
+				s := doOp(deadline, cfg, op, sessID, key)
+				if s.status != 0 {
+					local = append(local, s)
+				}
+			}
+			perWorker[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep := &Report{
+		Config:       cfg,
+		DurationMS:   elapsed.Milliseconds(),
+		Ops:          make(map[string]OpStats),
+		StatusCounts: make(map[string]int),
+	}
+	latencies := make(map[string][]time.Duration)
+	counts := make(map[string]*OpStats)
+	for _, local := range perWorker {
+		for _, s := range local {
+			rep.Requests++
+			rep.StatusCounts[fmt.Sprint(s.status)]++
+			st := counts[s.op]
+			if st == nil {
+				st = &OpStats{}
+				counts[s.op] = st
+			}
+			st.Count++
+			switch {
+			case s.status == http.StatusTooManyRequests:
+				st.Rejected429++
+				rep.Rejected429++
+			case s.status >= 500:
+				st.Errors++
+				rep.Errors5xx++
+			case s.status >= 400:
+				st.Errors++
+			default:
+				rep.Mutations += s.facts
+			}
+			latencies[s.op] = append(latencies[s.op], s.latency)
+		}
+	}
+	for op, st := range counts {
+		ds := latencies[op]
+		st.P50MS = ms(stats.Quantile(ds, 0.50))
+		st.P95MS = ms(stats.Quantile(ds, 0.95))
+		st.P99MS = ms(stats.Quantile(ds, 0.99))
+		st.MaxMS = ms(stats.Quantile(ds, 1))
+		rep.Ops[op] = *st
+	}
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / secs
+		rep.MutationsPerSec = float64(rep.Mutations) / secs
+	}
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// pick draws an operation kind according to the mix weights.
+func pick(m Mix, rng *rand.Rand) string {
+	n := rng.Intn(m.total())
+	switch {
+	case n < m.Assert:
+		return "assert"
+	case n < m.Assert+m.Batch:
+		return "batch"
+	case n < m.Assert+m.Batch+m.Run:
+		return "run"
+	default:
+		return "snapshot"
+	}
+}
+
+// doOp issues one request. A zero-status sample means the request never
+// completed (context over mid-flight) and is not counted.
+func doOp(ctx context.Context, cfg Config, op, sessID, key string) sample {
+	base := strings.TrimSuffix(cfg.BaseURL, "/") + "/api/v1/sessions/" + sessID
+	var (
+		method = http.MethodPost
+		url    string
+		body   any
+		facts  int
+	)
+	switch op {
+	case "assert":
+		url = base + "/facts"
+		body = map[string]any{"facts": []any{fact(key)}}
+		facts = 1
+	case "batch":
+		fs := make([]any, cfg.BatchSize)
+		for i := range fs {
+			fs[i] = fact(fmt.Sprintf("%s-%d", key, i))
+		}
+		url = base + "/batch"
+		body = map[string]any{"ops": []any{map[string]any{"op": "assert", "facts": fs}}}
+		facts = cfg.BatchSize
+	case "run":
+		url = base + "/run"
+		body = map[string]any{"timeout_ms": cfg.RunTimeout.Milliseconds()}
+	case "snapshot":
+		method = http.MethodGet
+		url = base + "/snapshot"
+	}
+	t0 := time.Now()
+	status, err := do(ctx, cfg.Client, method, url, body, nil)
+	if err != nil {
+		// Transport failures count as 599 so "zero 5xx" smoke checks catch
+		// a flapping server, not just one answering 500s.
+		return sample{op: op, status: 599, latency: time.Since(t0)}
+	}
+	if status == 0 {
+		return sample{} // run ended mid-flight; not an observation
+	}
+	s := sample{op: op, status: status, latency: time.Since(t0)}
+	if status < 300 {
+		s.facts = facts
+	}
+	return s
+}
+
+// fact renders one workload item in wire form.
+func fact(key string) map[string]any {
+	return map[string]any{"template": "item", "fields": map[string]any{"k": key, "state": "new"}}
+}
+
+func createSession(ctx context.Context, cfg Config) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	req := map[string]any{"source": cfg.Source}
+	if cfg.Workers > 0 {
+		req["workers"] = cfg.Workers
+	}
+	status, err := do(ctx, cfg.Client, http.MethodPost, strings.TrimSuffix(cfg.BaseURL, "/")+"/api/v1/sessions", req, &out)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusCreated {
+		return "", fmt.Errorf("unexpected status %d", status)
+	}
+	return out.ID, nil
+}
+
+// do issues one JSON request, measuring nothing itself — callers time it.
+// The response body is always drained so connections are reused.
+func do(ctx context.Context, client *http.Client, method, url string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -231,6 +231,55 @@ type runResponse struct {
 	OutputTrunc    bool   `json:"output_truncated,omitempty"`
 }
 
+// batchOp is one operation in a batch request. Op selects which of the
+// remaining fields apply: assert uses Facts, retract uses Template/Fields,
+// run uses TimeoutMS (same semantics as runRequest.TimeoutMS).
+type batchOp struct {
+	Op        string               `json:"op"`
+	Facts     []factPayload        `json:"facts,omitempty"`
+	Template  string               `json:"template,omitempty"`
+	Fields    map[string]jsonValue `json:"fields,omitempty"`
+	TimeoutMS int64                `json:"timeout_ms,omitempty"`
+}
+
+// batchRequest applies an ordered list of operations in one WAL-framed
+// round-trip.
+type batchRequest struct {
+	Ops []batchOp `json:"ops"`
+}
+
+// batchOpResult reports one batch op's outcome. Error is set on the op
+// that stopped the batch; ops after it were not attempted and have no
+// result entry.
+type batchOpResult struct {
+	Op    string       `json:"op"`
+	Count int          `json:"count,omitempty"`
+	Run   *runResponse `json:"run,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// batchResponse reports a batch's outcome: Applied counts the ops that
+// completed without error.
+type batchResponse struct {
+	Applied int             `json:"applied"`
+	Results []batchOpResult `json:"results"`
+	WMSize  int             `json:"wm_size"`
+}
+
+// jobInfo describes an async run job. Result is present once the job
+// reached a terminal state with its session intact; interrupted jobs
+// recovered after a restart carry no result.
+type jobInfo struct {
+	ID         string       `json:"id"`
+	Session    string       `json:"session"`
+	Status     string       `json:"status"`
+	CreatedAt  string       `json:"created_at"`
+	StartedAt  string       `json:"started_at,omitempty"`
+	FinishedAt string       `json:"finished_at,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Result     *runResponse `json:"result,omitempty"`
+}
+
 // traceResponse carries a session's recent cycle events. Total counts
 // every cycle ever traced, so total > len(events) means the ring dropped
 // old cycles; capacity is the ring size.

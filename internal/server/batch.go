@@ -1,0 +1,193 @@
+package server
+
+// POST /sessions/{id}/batch applies an ordered list of assert/retract/run
+// operations in one round-trip and — this is the point — one WAL frame:
+// the collected mutation records are nested inside a single wal.OpBatch
+// record, so a crash either preserves the whole applied prefix or none of
+// it (a torn batch frame is dropped by recovery's tail truncation).
+//
+// Validation is two-phase. Structural problems (unknown op kinds,
+// templates, attributes) are rejected with 400 before anything is applied.
+// Runtime failures (a run hitting its deadline or the cycle cap) stop the
+// batch at that op: the applied prefix stands, is persisted, and the
+// response reports per-op results with the failing op's error set.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parulel/internal/wal"
+)
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "ops is required")
+		return
+	}
+	containsRun := false
+	for i, op := range req.Ops {
+		switch op.Op {
+		case "assert":
+			if len(op.Facts) == 0 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: assert requires facts", i))
+				return
+			}
+		case "retract":
+			if op.Template == "" {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: retract requires template", i))
+				return
+			}
+		case "run":
+			containsRun = true
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown op %q (want assert, retract or run)", i, op.Op))
+			return
+		}
+	}
+
+	// A batch with run ops is an engine run for drain purposes: shutdown
+	// must wait for it, and a draining server must not start it.
+	if containsRun {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.active++
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.active--
+			if s.draining && s.active == 0 {
+				close(s.idle)
+			}
+			s.mu.Unlock()
+		}()
+	}
+
+	s.withSession(w, r, func(sess *session) {
+		// Schema validation needs the engine, hence the session slot.
+		schema := sess.eng.Memory().Schema()
+		checkFields := func(i int, template string, fields map[string]jsonValue) bool {
+			tmpl, ok := schema.Lookup(template)
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown template %q", i, template))
+				return false
+			}
+			for attr := range fields {
+				if _, ok := tmpl.AttrIndex(attr); !ok {
+					writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: template %s has no attribute %q", i, template, attr))
+					return false
+				}
+			}
+			return true
+		}
+		for i, op := range req.Ops {
+			switch op.Op {
+			case "assert":
+				for _, f := range op.Facts {
+					if !checkFields(i, f.Template, f.Fields) {
+						return
+					}
+				}
+			case "retract":
+				if !checkFields(i, op.Template, op.Fields) {
+					return
+				}
+			}
+		}
+
+		// Execute, collecting the would-be WAL records instead of appending
+		// them one by one; they land in a single OpBatch frame at the end.
+		var recs []wal.Record
+		sink := func(rec *wal.Record) bool {
+			recs = append(recs, *rec)
+			return true
+		}
+		results := make([]batchOpResult, 0, len(req.Ops))
+		applied := 0
+		for _, op := range req.Ops {
+			result := batchOpResult{Op: op.Op}
+			switch op.Op {
+			case "assert":
+				inserted := make([]wal.Fact, 0, len(op.Facts))
+				for j, f := range op.Facts {
+					fields := toFields(f.Fields)
+					if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+						result.Error = fmt.Sprintf("fact %d: %v", j, err)
+						break
+					}
+					inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields)})
+				}
+				result.Count = len(inserted)
+				if len(inserted) > 0 {
+					sink(&wal.Record{Op: wal.OpAssert, Facts: inserted})
+				}
+			case "retract":
+				fields := toFields(op.Fields)
+				n, err := sess.retractMatching(op.Template, fields)
+				if err != nil {
+					result.Error = err.Error()
+					break
+				}
+				result.Count = n
+				if n > 0 {
+					sink(&wal.Record{Op: wal.OpRetract, Template: op.Template, Fields: wal.EncodeFields(fields), Count: n})
+				}
+			case "run":
+				timeout := s.clampTimeout(op.TimeoutMS)
+				ctx, cancel := context.WithTimeout(r.Context(), timeout)
+				// admitForce, not admit: the batch as a whole passed
+				// admission at the mutation layer; rejecting one of its ops
+				// mid-flight would break the prefix contract.
+				ticket := s.runQueue.admitForce(sess.id)
+				s.metrics.runStarted()
+				out := s.driveRun(ctx, sess, ticket, sink)
+				ticket.done()
+				cancel()
+				resp := out.resp
+				result.Run = &resp
+				s.countRunOutcome(out)
+				if out.err != nil {
+					result.Error = out.err.Error()
+				}
+			}
+			results = append(results, result)
+			if result.Error != "" {
+				break
+			}
+			applied++
+		}
+		s.metrics.batchObserved(applied)
+
+		if len(recs) > 0 && !s.persist(r.Context(), sess, &wal.Record{Op: wal.OpBatch, Ops: recs}) {
+			writeError(w, http.StatusInternalServerError, "batch applied in memory but not durably logged")
+			return
+		}
+		writeJSON(w, http.StatusOK, batchResponse{
+			Applied: applied,
+			Results: results,
+			WMSize:  sess.eng.Memory().Len(),
+		})
+	})
+}
+
+// clampTimeout resolves a client-requested run timeout against the
+// configured default and ceiling.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	timeout := s.cfg.DefaultRunTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxRunTimeout {
+		timeout = s.cfg.MaxRunTimeout
+	}
+	return timeout
+}

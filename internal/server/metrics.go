@@ -38,6 +38,17 @@ type collector struct {
 	runsStarted, runsCompleted, runTimeouts, runsCanceled, runErrors   uint64
 	sessionsCreated, sessionsEvicted, sessionsExpired, sessionsDeleted uint64
 
+	// Admission-control counters.
+	runsRejected      uint64 // runs refused with 429 (run queue full)
+	mutationsRejected uint64 // mutations refused with 429 (session queue full)
+
+	// Async-job counters.
+	jobsCreated, jobsDone, jobsCanceled, jobsInterrupted, jobsErrors uint64
+
+	// Batch counters.
+	batches  uint64 // batch requests served
+	batchOps uint64 // ops applied across all batches
+
 	// Durability counters; durEnabled gates the payload section.
 	durEnabled         bool
 	foundOnBoot        int
@@ -137,6 +148,32 @@ func (c *collector) sessionEvicted() { c.bump(&c.sessionsEvicted) }
 func (c *collector) sessionExpired() { c.bump(&c.sessionsExpired) }
 func (c *collector) sessionDeleted() { c.bump(&c.sessionsDeleted) }
 
+func (c *collector) runRejected()      { c.bump(&c.runsRejected) }
+func (c *collector) mutationRejected() { c.bump(&c.mutationsRejected) }
+func (c *collector) jobCreated()       { c.bump(&c.jobsCreated) }
+
+// jobFinished attributes a terminal job state to its counter.
+func (c *collector) jobFinished(status string) {
+	switch status {
+	case jobDone:
+		c.bump(&c.jobsDone)
+	case jobCanceled:
+		c.bump(&c.jobsCanceled)
+	case jobInterrupted:
+		c.bump(&c.jobsInterrupted)
+	default:
+		c.bump(&c.jobsErrors)
+	}
+}
+
+// batchObserved records one served batch and how many ops it applied.
+func (c *collector) batchObserved(ops int) {
+	c.mu.Lock()
+	c.batches++
+	c.batchOps += uint64(ops)
+	c.mu.Unlock()
+}
+
 func (c *collector) bump(f *uint64) {
 	c.mu.Lock()
 	*f++
@@ -235,6 +272,26 @@ type metricsPayload struct {
 		Errors    uint64 `json:"errors"`
 		Active    int    `json:"active"`
 	} `json:"runs"`
+	// Admission reports the backpressure layer: current run-queue
+	// occupancy and the fast-fail counters.
+	Admission struct {
+		RunQueueLen       int    `json:"run_queue_len"`
+		RunsInflight      int    `json:"runs_inflight"`
+		RunsRejected      uint64 `json:"runs_rejected"`
+		MutationsRejected uint64 `json:"mutations_rejected"`
+	} `json:"admission"`
+	Jobs struct {
+		Created     uint64 `json:"created"`
+		Done        uint64 `json:"done"`
+		Canceled    uint64 `json:"canceled"`
+		Interrupted uint64 `json:"interrupted"`
+		Errors      uint64 `json:"errors"`
+		Active      int    `json:"active"`
+	} `json:"jobs"`
+	Batches struct {
+		Batches uint64 `json:"batches"`
+		Ops     uint64 `json:"ops"`
+	} `json:"batches"`
 	Engine struct {
 		Cycles          uint64                  `json:"cycles"`
 		Fired           uint64                  `json:"fired"`
@@ -253,9 +310,9 @@ type metricsPayload struct {
 	Durability *durabilityPayload `json:"durability,omitempty"`
 }
 
-// snapshot renders the aggregate. live, active and onDisk are sampled by
-// the caller under the relevant mutexes.
-func (c *collector) snapshot(uptime time.Duration, live, active, onDisk int) metricsPayload {
+// snapshot renders the aggregate. live, active, onDisk, queued, inflight
+// and jobsActive are sampled by the caller under the relevant mutexes.
+func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued, inflight, jobsActive int) metricsPayload {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var p metricsPayload
@@ -272,6 +329,18 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk int) met
 	p.Runs.Canceled = c.runsCanceled
 	p.Runs.Errors = c.runErrors
 	p.Runs.Active = active
+	p.Admission.RunQueueLen = queued
+	p.Admission.RunsInflight = inflight
+	p.Admission.RunsRejected = c.runsRejected
+	p.Admission.MutationsRejected = c.mutationsRejected
+	p.Jobs.Created = c.jobsCreated
+	p.Jobs.Done = c.jobsDone
+	p.Jobs.Canceled = c.jobsCanceled
+	p.Jobs.Interrupted = c.jobsInterrupted
+	p.Jobs.Errors = c.jobsErrors
+	p.Jobs.Active = jobsActive
+	p.Batches.Batches = c.batches
+	p.Batches.Ops = c.batchOps
 	p.Engine.Cycles = c.cycles
 	p.Engine.Fired = c.fired
 	p.Engine.Redacted = c.redacted

@@ -88,6 +88,21 @@ func writePrometheus(w io.Writer, m metricsPayload) {
 	p.counter("parulel_runs_canceled_total", "Engine runs canceled by the client.", float64(m.Runs.Canceled))
 	p.counter("parulel_runs_error_total", "Engine runs that failed.", float64(m.Runs.Errors))
 
+	p.gauge("parulel_run_queue_len", "Runs currently waiting for an engine slot.", float64(m.Admission.RunQueueLen))
+	p.gauge("parulel_runs_inflight", "Admitted runs (executing or queued).", float64(m.Admission.RunsInflight))
+	p.counter("parulel_runs_rejected_total", "Runs fast-failed with 429 by the admission cap.", float64(m.Admission.RunsRejected))
+	p.counter("parulel_mutations_rejected_total", "Mutations fast-failed with 429 by a full session queue.", float64(m.Admission.MutationsRejected))
+
+	p.gauge("parulel_jobs_active", "Async jobs currently queued or running.", float64(m.Jobs.Active))
+	p.counter("parulel_jobs_created_total", "Async jobs ever created.", float64(m.Jobs.Created))
+	p.counter("parulel_jobs_done_total", "Async jobs finished successfully (including deadline expiries).", float64(m.Jobs.Done))
+	p.counter("parulel_jobs_canceled_total", "Async jobs canceled by clients.", float64(m.Jobs.Canceled))
+	p.counter("parulel_jobs_interrupted_total", "Async jobs interrupted by shutdown or crash.", float64(m.Jobs.Interrupted))
+	p.counter("parulel_jobs_error_total", "Async jobs that failed.", float64(m.Jobs.Errors))
+
+	p.counter("parulel_batches_total", "Batch requests served.", float64(m.Batches.Batches))
+	p.counter("parulel_batch_ops_total", "Batch operations applied.", float64(m.Batches.Ops))
+
 	p.counter("parulel_engine_cycles_total", "Committed engine cycles across all sessions.", float64(m.Engine.Cycles))
 	p.counter("parulel_engine_fired_total", "Instantiations fired across all sessions.", float64(m.Engine.Fired))
 	p.counter("parulel_engine_redacted_total", "Instantiations redacted by meta-rules.", float64(m.Engine.Redacted))

@@ -1,0 +1,165 @@
+package server
+
+// Unit tests for the run-queue scheduler: admission cap, fair dispatch
+// between sessions, slot accounting across slices, and the grant/cancel
+// race. These drive runQueue directly, without HTTP.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStats polls until the queue reaches the wanted shape.
+func waitStats(t *testing.T, q *runQueue, queued, inflight int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gotQ, gotI := q.stats()
+		if gotQ == queued && gotI == inflight {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue stats: got (%d queued, %d inflight), want (%d, %d)", gotQ, gotI, queued, inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRunQueueAdmissionCap(t *testing.T) {
+	q := newRunQueue(1, 2)
+	t1, err := q.admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := q.admit("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.admit("c"); !errors.Is(err, errSaturated) {
+		t.Fatalf("third admit: got %v, want errSaturated", err)
+	}
+	t1.done()
+	t3, err := q.admit("c")
+	if err != nil {
+		t.Fatalf("admit after done: %v", err)
+	}
+	// admitForce bypasses the cap even when full.
+	t4 := q.admitForce("d")
+	if _, inflight := q.stats(); inflight != 3 {
+		t.Fatalf("inflight: got %d, want 3", inflight)
+	}
+	t2.done()
+	t3.done()
+	t4.done()
+	if queued, inflight := q.stats(); queued != 0 || inflight != 0 {
+		t.Fatalf("after done: got (%d, %d), want (0, 0)", queued, inflight)
+	}
+}
+
+func TestRunQueueFairDispatch(t *testing.T) {
+	q := newRunQueue(1, 0)
+	tA, err := q.admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tA.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue a second waiter for session a, then one for session b, so the
+	// FIFO head shares a session with the current holder.
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	enqueue := func(session string) *runTicket {
+		tk, err := q.admit(session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tk.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- session
+			tk.done()
+		}()
+		return tk
+	}
+	enqueue("a")
+	waitStats(t, q, 1, 2)
+	enqueue("b")
+	waitStats(t, q, 2, 3)
+
+	// Releasing a's slot must grant b first even though a's second waiter
+	// is at the head of the queue.
+	tA.done()
+	wg.Wait()
+	if first, second := <-order, <-order; first != "b" || second != "a" {
+		t.Fatalf("grant order: got (%s, %s), want (b, a)", first, second)
+	}
+}
+
+func TestRunQueueSliceReacquire(t *testing.T) {
+	q := newRunQueue(1, 0)
+	tk, err := q.admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tk.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		tk.release()
+	}
+	tk.done()
+	if queued, inflight := q.stats(); queued != 0 || inflight != 0 {
+		t.Fatalf("after slices: got (%d, %d), want (0, 0)", queued, inflight)
+	}
+	// The slot must be free again.
+	tk2, _ := q.admit("b")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := tk2.acquire(ctx); err != nil {
+		t.Fatalf("slot leaked across slices: %v", err)
+	}
+	tk2.done()
+}
+
+func TestRunQueueCanceledWaiterReturnsSlot(t *testing.T) {
+	// Hammer the grant/cancel race: a holder releases while the sole
+	// waiter cancels. Whatever interleaving happens, the slot must be
+	// recoverable afterwards and acquire must never report success after
+	// its context ended.
+	for i := 0; i < 200; i++ {
+		q := newRunQueue(1, 0)
+		holder, _ := q.admit("h")
+		if err := holder.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		waiter, _ := q.admit("w")
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan error, 1)
+		go func() { got <- waiter.acquire(ctx) }()
+		waitStats(t, q, 1, 2)
+		go cancel()
+		holder.done()
+		if err := <-got; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("acquire: %v", err)
+		}
+		waiter.done()
+		// Full capacity must be available again.
+		probe, _ := q.admit("p")
+		probeCtx, probeCancel := context.WithTimeout(context.Background(), time.Second)
+		if err := probe.acquire(probeCtx); err != nil {
+			probeCancel()
+			t.Fatalf("iteration %d leaked the slot: %v", i, err)
+		}
+		probeCancel()
+		probe.done()
+	}
+}

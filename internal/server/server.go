@@ -52,6 +52,21 @@ type Config struct {
 	// excess run requests wait for a slot (bounded by their deadline).
 	// Default 8.
 	MaxConcurrentRuns int
+	// MaxInflightRuns caps admitted runs — executing plus queued for an
+	// engine slot. Beyond it, run requests fast-fail with 429 and a
+	// Retry-After header instead of queueing. Default 8×MaxConcurrentRuns;
+	// negative disables the cap.
+	MaxInflightRuns int
+	// MutationQueueDepth bounds each session's mutation queue (the holder
+	// of the session slot plus requests waiting for it). Beyond it,
+	// mutations fast-fail with 429 + Retry-After. Default 32; negative
+	// disables the cap.
+	MutationQueueDepth int
+	// RunSlice bounds the engine cycles a run may commit per engine-slot
+	// grant; a run needing more releases the slot and re-queues, so a long
+	// run cannot monopolize an engine slot while others wait. 0 (the
+	// default) runs to quiescence in one grant.
+	RunSlice int
 	// DefaultRunTimeout applies when a run request names none. Default 30s.
 	DefaultRunTimeout time.Duration
 	// MaxRunTimeout clamps client-requested timeouts. Default 5m.
@@ -108,6 +123,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrentRuns <= 0 {
 		c.MaxConcurrentRuns = 8
 	}
+	if c.MaxInflightRuns == 0 {
+		c.MaxInflightRuns = 8 * c.MaxConcurrentRuns
+	}
+	if c.MutationQueueDepth == 0 {
+		c.MutationQueueDepth = 32
+	}
 	if c.DefaultRunTimeout <= 0 {
 		c.DefaultRunTimeout = 30 * time.Second
 	}
@@ -140,12 +161,13 @@ func (c Config) withDefaults() Config {
 
 // Server is the paruleld HTTP handler plus its session pool.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	runSem  chan struct{}
-	metrics *collector
-	start   time.Time
-	store   *store // nil when durability is disabled
+	cfg      Config
+	mux      *http.ServeMux
+	runQueue *runQueue
+	jobs     *jobRegistry
+	metrics  *collector
+	start    time.Time
+	store    *store // nil when durability is disabled
 
 	reqID atomic.Uint64 // monotonically increasing request ids
 
@@ -170,7 +192,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		mux:         http.NewServeMux(),
-		runSem:      make(chan struct{}, cfg.MaxConcurrentRuns),
+		runQueue:    newRunQueue(cfg.MaxConcurrentRuns, cfg.MaxInflightRuns),
+		jobs:        newJobRegistry(),
 		metrics:     newCollector(),
 		start:       time.Now(),
 		sessions:    make(map[string]*session),
@@ -265,14 +288,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/facts", s.handleAssert)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.handleRetract)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.handleRun)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs/{job}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/jobs/{job}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.handleWM)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.handleSnapshotExport)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.handleSnapshotImport)
 }
 
-// Close drains the server: new runs are rejected, in-flight runs finish
-// (or ctx expires), and the janitor stops. Safe to call once.
+// Close drains the server: new runs are rejected, live async jobs are
+// canceled (surfacing as "interrupted"), in-flight runs finish (or ctx
+// expires), and the janitor stops. Safe to call once.
 func (s *Server) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -283,6 +311,7 @@ func (s *Server) Close(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	s.cancelAllJobs("drain")
 	<-s.janitorDone
 	select {
 	case <-s.idle:
@@ -399,11 +428,9 @@ func (s *Server) insertLocked(sess *session) error {
 	return nil
 }
 
-// lookup finds a session and marks it used, transparently rehydrating it
-// from disk when it was evicted or belongs to a previous process. A nil
-// return means the response has been written.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
-	id := r.PathValue("id")
+// sessionByID finds a session and marks it used, transparently rehydrating
+// it from disk when it was evicted or belongs to a previous process.
+func (s *Server) sessionByID(ctx context.Context, id string) (*session, error) {
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		sess, ok := s.sessions[id]
@@ -414,46 +441,72 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 		draining := s.draining
 		s.mu.Unlock()
 		if ok {
-			return sess
+			return sess, nil
 		}
 		if s.store == nil || draining || attempt > 0 || !s.store.has(id) {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
-			return nil
+			return nil, fmt.Errorf("no session %q", id)
 		}
-		if err := s.rehydrate(r.Context(), id); err != nil {
-			s.log(r.Context()).Error("session recovery failed", "session_id", id, "err", err)
-			writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q (recovery failed: %v)", id, err))
-			return nil
+		if err := s.rehydrate(ctx, id); err != nil {
+			s.log(ctx).Error("session recovery failed", "session_id", id, "err", err)
+			return nil, fmt.Errorf("no session %q (recovery failed: %v)", id, err)
 		}
 	}
 }
 
+// lookup is sessionByID for handlers: a nil return means the 404 has been
+// written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	sess, err := s.sessionByID(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return nil
+	}
+	return sess
+}
+
 // withSession acquires the session slot under the request context and runs
-// fn while holding it. A session evicted while the request waited for the
-// slot is looked up again once — with durability on, the re-lookup
-// rehydrates it instead of answering 410.
+// fn while holding it, after passing the per-session mutation-queue gate:
+// when MutationQueueDepth requests already hold or await the slot, the
+// request fast-fails with 429 instead of queueing unboundedly. A session
+// evicted while the request waited for the slot is looked up again once —
+// with durability on, the re-lookup rehydrates it instead of answering 410.
 func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(sess *session)) {
 	for attempt := 0; ; attempt++ {
 		sess := s.lookup(w, r)
 		if sess == nil {
 			return
 		}
+		if depth := s.cfg.MutationQueueDepth; depth > 0 && int(sess.waiters.Add(1)) > depth {
+			sess.waiters.Add(-1)
+			s.metrics.mutationRejected()
+			writeRetryAfter(w, fmt.Sprintf("session %s mutation queue is full (depth %d)", sess.id, depth))
+			return
+		}
 		if err := sess.acquire(r.Context()); err != nil {
+			sess.waiters.Add(-1)
 			writeError(w, http.StatusServiceUnavailable, "session busy: "+err.Error())
 			return
 		}
 		if sess.closed.Load() {
 			sess.release()
+			sess.waiters.Add(-1)
 			if s.store != nil && attempt == 0 {
 				continue
 			}
 			writeError(w, http.StatusGone, "session was evicted")
 			return
 		}
+		defer sess.waiters.Add(-1)
 		defer sess.release()
 		fn(sess)
 		return
 	}
+}
+
+// writeRetryAfter answers 429 with the backpressure contract's header.
+func writeRetryAfter(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, msg)
 }
 
 // ---- handlers ----
@@ -482,7 +535,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		onDisk = s.store.count()
 	}
-	p := s.metrics.snapshot(time.Since(s.start), live, active, onDisk)
+	queued, inflight := s.runQueue.stats()
+	p := s.metrics.snapshot(time.Since(s.start), live, active, onDisk, queued, inflight, s.jobs.activeCount())
 	w.Header().Set("Cache-Control", "no-cache")
 	if format == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -661,6 +715,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 		return
 	}
+	s.jobs.dropSession(id)
 	s.metrics.sessionDeleted()
 	s.log(r.Context()).Info("session deleted", "session_id", id)
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
@@ -728,12 +783,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	timeout := s.cfg.DefaultRunTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxRunTimeout {
-		timeout = s.cfg.MaxRunTimeout
+	timeout := s.clampTimeout(req.TimeoutMS)
+	async := false
+	switch v := r.URL.Query().Get("async"); v {
+	case "", "0", "false":
+	case "1", "true":
+		async = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad async value %q", v))
+		return
 	}
 	sess := s.lookup(w, r)
 	if sess == nil {
@@ -749,33 +807,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.active++
 	s.mu.Unlock()
-	defer func() {
+	releaseActive := func() {
 		s.mu.Lock()
 		s.active--
 		if s.draining && s.active == 0 {
 			close(s.idle)
 		}
 		s.mu.Unlock()
-	}()
+	}
+
+	// Admission: beyond MaxInflightRuns admitted runs the server fast-fails
+	// rather than queueing without bound.
+	ticket, err := s.runQueue.admit(sess.id)
+	if err != nil {
+		releaseActive()
+		s.metrics.runRejected()
+		writeRetryAfter(w, "run queue is full")
+		return
+	}
+
+	if async {
+		// startAsyncRun replies 202; the runner goroutine owns the ticket
+		// and the drain registration from here on.
+		s.startAsyncRun(w, r, sess, ticket, timeout, releaseActive)
+		return
+	}
+	defer releaseActive()
+	defer ticket.done()
 	s.metrics.runStarted()
 
-	// The deadline covers queueing (engine slot + session slot) and the
+	// The deadline covers queueing (session slot + engine slots) and the
 	// run itself, so a stuck queue cannot hold the request forever.
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// Server-wide concurrency limit: wait for an engine slot.
-	select {
-	case s.runSem <- struct{}{}:
-		defer func() { <-s.runSem }()
-	case <-ctx.Done():
-		s.metrics.runTimeout()
-		writeError(w, http.StatusGatewayTimeout, "timed out waiting for an engine slot")
-		return
-	}
-
-	// Per-session serialization. A session evicted while we waited is
-	// looked up once more, so durability can rehydrate it transparently.
+	// Per-session serialization first, engine slots per slice inside
+	// driveRun — the same lock order as batches and jobs. A session evicted
+	// while we waited is looked up once more, so durability can rehydrate
+	// it transparently.
 	for attempt := 0; ; attempt++ {
 		if err := sess.acquire(ctx); err != nil {
 			s.metrics.runTimeout()
@@ -796,84 +865,149 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.release()
 
-	func(sess *session) {
-		before := sess.lastResult
-		prevStats := 0
-		if before.Stats != nil {
-			prevStats = len(before.Stats.Cycles)
+	out := s.driveRun(ctx, sess, ticket, s.immediateSink(ctx, sess))
+	resp := out.resp
+	switch {
+	case out.err == nil && !out.persisted:
+		// The run committed in memory but neither the WAL append nor the
+		// fallback checkpoint stuck: recovery would serve pre-run state, so
+		// the client must not see a bare 200 (mirrors the assert/retract
+		// handlers, with the result attached since the cycles did run).
+		s.metrics.runError()
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":  "run committed in memory but not durably logged",
+			"result": resp,
+		})
+	case out.err == nil:
+		s.metrics.runCompleted()
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(out.err, context.DeadlineExceeded):
+		sess.timeouts++
+		s.metrics.runTimeout()
+		s.log(ctx).Warn("run timed out",
+			"session_id", sess.id, "timeout", timeout.String(), "cycles_committed", resp.Cycles)
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":  fmt.Sprintf("run exceeded its %v deadline; %d cycles committed, session still usable", timeout, resp.Cycles),
+			"result": resp,
+		})
+	case errors.Is(out.err, context.Canceled):
+		// Client went away; record and reply best-effort.
+		s.metrics.runCanceled()
+		writeError(w, http.StatusServiceUnavailable, "run canceled: "+out.err.Error())
+	case errors.Is(out.err, core.ErrMaxCycles):
+		s.metrics.runError()
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":  out.err.Error(),
+			"result": resp,
+		})
+	default:
+		s.metrics.runError()
+		writeError(w, http.StatusInternalServerError, "run failed: "+out.err.Error())
+	}
+}
+
+// recordSink receives the WAL records a run produces. The immediate sink
+// persists each as its own frame; the batch handler's sink collects them
+// into one OpBatch frame instead. A false return marks durability lost.
+type recordSink func(*wal.Record) bool
+
+func (s *Server) immediateSink(ctx context.Context, sess *session) recordSink {
+	return func(rec *wal.Record) bool { return s.persist(ctx, sess, rec) }
+}
+
+// runOutcome is driveRun's result, mapped onto HTTP statuses or job states
+// by the caller.
+type runOutcome struct {
+	resp      runResponse
+	err       error
+	persisted bool
+}
+
+// driveRun executes one logical run while holding the session slot,
+// re-acquiring an engine slot from the run queue for every RunSlice cycles
+// (one grant for the whole run when RunSlice is 0) and logging one OpRun
+// record per grant. Failing to reacquire a slot mid-run leaves the earlier
+// slices committed and logged, exactly like a deadline expiry.
+func (s *Server) driveRun(ctx context.Context, sess *session, ticket *runTicket, sink recordSink) runOutcome {
+	before := sess.lastResult
+	prevStats := 0
+	if before.Stats != nil {
+		prevStats = len(before.Stats.Cycles)
+	}
+	sess.out.take() // reset output buffer
+	t0 := time.Now()
+	res := before
+	persisted := true
+	lastCycles := before.Cycles
+	var runErr error
+	for {
+		if err := ticket.acquire(ctx); err != nil {
+			runErr = fmt.Errorf("%w: waiting for an engine slot: %w", core.ErrCanceled, err)
+			res = sess.eng.CurrentResult()
+			break
 		}
-		sess.out.take() // reset output buffer
-		t0 := time.Now()
-		res, err := sess.eng.RunContext(ctx)
-		wall := time.Since(t0)
-		sess.lastResult = res
+		var more bool
+		res, more, runErr = sess.eng.RunBounded(ctx, s.cfg.RunSlice)
+		ticket.release()
+		// Each slice is one OpRun record and one runs increment, matching
+		// replay, which bumps runs per record. The increment precedes the
+		// sink so a checkpoint triggered by the append captures it.
 		sess.runs++
-
-		// Fold the new cycle records into /metrics regardless of outcome.
-		if res.Stats != nil && len(res.Stats.Cycles) > prevStats {
-			s.metrics.observe(res.Stats.Cycles[prevStats:])
-			sess.statCycles = len(res.Stats.Cycles)
-		}
-		// Likewise the per-rule profile deltas accumulated by this run.
-		s.metrics.observeRules(sess.profileDeltas())
-
-		// Log the run boundary — the committed cycle delta, never wall
+		// Log the slice boundary — the committed cycle delta, never wall
 		// clock — regardless of outcome: a timed-out or canceled run still
 		// advanced the engine by exactly that many committed cycles.
-		persisted := s.persist(ctx, sess, &wal.Record{Op: wal.OpRun, Cycles: res.Cycles - before.Cycles, Halted: res.Halted})
+		if !sink(&wal.Record{Op: wal.OpRun, Cycles: res.Cycles - lastCycles, Halted: res.Halted}) {
+			persisted = false
+		}
+		lastCycles = res.Cycles
+		if runErr != nil || !more {
+			break
+		}
+	}
+	wall := time.Since(t0)
+	sess.lastResult = res
 
-		output, trunc := sess.out.take()
-		resp := runResponse{
-			Cycles:         res.Cycles - before.Cycles,
-			Firings:        res.Firings - before.Firings,
-			Redactions:     res.Redactions - before.Redactions,
-			WriteConflicts: res.WriteConflicts - before.WriteConflicts,
-			Halted:         res.Halted,
-			WallMS:         wall.Milliseconds(),
-			WMSize:         sess.eng.Memory().Len(),
-			Output:         output,
-			OutputTrunc:    trunc,
-		}
-		switch {
-		case err == nil && !persisted:
-			// The run committed in memory but neither the WAL append nor
-			// the fallback checkpoint stuck: recovery would serve pre-run
-			// state, so the client must not see a bare 200 (mirrors the
-			// assert/retract handlers, with the result attached since the
-			// cycles did run).
-			s.metrics.runError()
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
-				"error":  "run committed in memory but not durably logged",
-				"result": resp,
-			})
-		case err == nil:
-			resp.Quiescent = !res.Halted
-			s.metrics.runCompleted()
-			writeJSON(w, http.StatusOK, resp)
-		case errors.Is(err, context.DeadlineExceeded):
-			sess.timeouts++
-			s.metrics.runTimeout()
-			s.log(ctx).Warn("run timed out",
-				"session_id", sess.id, "timeout", timeout.String(), "cycles_committed", resp.Cycles)
-			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
-				"error":  fmt.Sprintf("run exceeded its %v deadline; %d cycles committed, session still usable", timeout, resp.Cycles),
-				"result": resp,
-			})
-		case errors.Is(err, context.Canceled):
-			// Client went away; record and reply best-effort.
-			s.metrics.runCanceled()
-			writeError(w, http.StatusServiceUnavailable, "run canceled: "+err.Error())
-		case errors.Is(err, core.ErrMaxCycles):
-			s.metrics.runError()
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-				"error":  err.Error(),
-				"result": resp,
-			})
-		default:
-			s.metrics.runError()
-			writeError(w, http.StatusInternalServerError, "run failed: "+err.Error())
-		}
-	}(sess)
+	// Fold the new cycle records into /metrics regardless of outcome.
+	if res.Stats != nil && len(res.Stats.Cycles) > prevStats {
+		s.metrics.observe(res.Stats.Cycles[prevStats:])
+		sess.statCycles = len(res.Stats.Cycles)
+	}
+	// Likewise the per-rule profile deltas accumulated by this run.
+	s.metrics.observeRules(sess.profileDeltas())
+
+	output, trunc := sess.out.take()
+	resp := runResponse{
+		Cycles:         res.Cycles - before.Cycles,
+		Firings:        res.Firings - before.Firings,
+		Redactions:     res.Redactions - before.Redactions,
+		WriteConflicts: res.WriteConflicts - before.WriteConflicts,
+		Halted:         res.Halted,
+		WallMS:         wall.Milliseconds(),
+		WMSize:         sess.eng.Memory().Len(),
+		Output:         output,
+		OutputTrunc:    trunc,
+	}
+	if runErr == nil {
+		resp.Quiescent = !res.Halted
+	}
+	return runOutcome{resp: resp, err: runErr, persisted: persisted}
+}
+
+// countRunOutcome bumps the run counters for callers that do not map the
+// outcome onto an HTTP status themselves (batch run ops).
+func (s *Server) countRunOutcome(out runOutcome) {
+	switch {
+	case out.err == nil && out.persisted:
+		s.metrics.runCompleted()
+	case out.err == nil:
+		s.metrics.runError()
+	case errors.Is(out.err, context.DeadlineExceeded):
+		s.metrics.runTimeout()
+	case errors.Is(out.err, context.Canceled):
+		s.metrics.runCanceled()
+	default:
+		s.metrics.runError()
+	}
 }
 
 func (s *Server) handleWM(w http.ResponseWriter, r *http.Request) {

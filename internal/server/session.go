@@ -41,6 +41,14 @@ type session struct {
 	// slot only after eviction).
 	slot   chan struct{}
 	closed atomic.Bool
+	// waiters counts requests holding or queued for the slot via
+	// withSession — the admission gate for Config.MutationQueueDepth.
+	waiters atomic.Int32
+
+	// recoveredJobs maps job id → last logged status, populated while
+	// replaying wal.OpJob records and folded into the server's job
+	// registry once the session enters the pool.
+	recoveredJobs map[string]string
 
 	// Guarded by Server.mu.
 	lastUsed time.Time

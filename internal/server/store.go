@@ -257,8 +257,15 @@ func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 	s.metrics.checkpointDone(time.Since(t0), err)
 	if err != nil {
 		s.log(ctx).Error("checkpoint failed (log retained)", "session_id", sess.id, "err", err)
+		return err
 	}
-	return err
+	// The checkpoint emptied the log, taking any live jobs' queued markers
+	// with it; re-log them so a crash after this point still surfaces the
+	// jobs as interrupted.
+	for _, jobID := range s.jobs.activeFor(sess.id) {
+		s.appendJobMarker(ctx, sess, jobID, jobQueued)
+	}
+	return nil
 }
 
 // persist logs one mutation record for sess, checkpointing when due. On
@@ -329,6 +336,10 @@ func (s *Server) rehydrate(ctx context.Context, id string) error {
 	if err != nil {
 		sess.dur.close()
 		return err
+	}
+	if len(sess.recoveredJobs) > 0 {
+		s.foldRecoveredJobs(id, sess.recoveredJobs)
+		sess.recoveredJobs = nil
 	}
 	s.metrics.sessionRehydrated()
 	s.log(ctx).Info("session rehydrated",
@@ -490,6 +501,24 @@ func replay(sess *session, rec *wal.Record) error {
 		if n != rec.Count {
 			return fmt.Errorf("imported %d facts, log recorded %d", n, rec.Count)
 		}
+		return nil
+	case wal.OpBatch:
+		// The nested ops were applied atomically in one frame; replay them
+		// in order. Nested records carry no sequence numbers.
+		for i := range rec.Ops {
+			if err := replay(sess, &rec.Ops[i]); err != nil {
+				return fmt.Errorf("batch op %d: %w", i, err)
+			}
+		}
+		return nil
+	case wal.OpJob:
+		// No engine effect: remember the last logged status per job so the
+		// server can reconstruct its job registry. A job whose final marker
+		// is non-terminal was in flight at the crash.
+		if sess.recoveredJobs == nil {
+			sess.recoveredJobs = make(map[string]string)
+		}
+		sess.recoveredJobs[rec.Job] = rec.JobStatus
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)

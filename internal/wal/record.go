@@ -43,6 +43,17 @@ const (
 	// OpImport inserts the facts of a `(wm …)` snapshot given verbatim
 	// in Text.
 	OpImport = "import"
+	// OpBatch applies the nested Ops records in order. The whole batch is
+	// one frame, so recovery sees it atomically: either every nested op
+	// replays or (torn write) none of them exist. Nested records carry no
+	// sequence numbers of their own.
+	OpBatch = "batch"
+	// OpJob marks an async-job lifecycle transition: Job is the job id,
+	// JobStatus the state entered ("queued", "done", "canceled", "error").
+	// It has no effect on engine state; recovery uses it to reconstruct
+	// the job registry — a job whose last logged status is "queued" was in
+	// flight at the crash and surfaces as "interrupted".
+	OpJob = "job"
 )
 
 // Record is one logged operation. Exactly the fields relevant to Op are
@@ -74,6 +85,13 @@ type Record struct {
 
 	// OpImport.
 	Text string `json:"text,omitempty"`
+
+	// OpBatch: the nested operations, applied in order on replay.
+	Ops []Record `json:"ops,omitempty"`
+
+	// OpJob.
+	Job       string `json:"job,omitempty"`
+	JobStatus string `json:"job_status,omitempty"`
 }
 
 // Fact is one asserted working-memory element.
