@@ -9,6 +9,8 @@
 //	parbench -json -out f     …written to f instead ("-" for stdout)
 //	parbench -serve           single-op vs batched ingest against an in-process server
 //	parbench -serve -json     …merged into the -out document under "serve"
+//	parbench -cluster         1-node vs 3-node aggregate ingest (in-process cluster)
+//	parbench -cluster -json   …merged into the -out document under "cluster"
 //	parbench -durability      WAL fsync policy cost at the session write path
 //	parbench -ruleprofile     per-rule match-time attribution tables
 //	parbench -cpuprofile f    write a pprof CPU profile of the run to f
@@ -33,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
 	serve := flag.Bool("serve", false, "benchmark server-level ingest (single-op vs batched) against an in-process paruleld")
+	clusterBench := flag.Bool("cluster", false, "benchmark 1-node vs 3-node aggregate ingest against an in-process cluster")
 	durability := flag.Bool("durability", false, "run the durability benchmark (WAL fsync policy comparison) instead of the experiment tables")
 	ruleProfile := flag.Bool("ruleprofile", false, "print per-rule match attribution tables instead of the experiment tables")
 	top := flag.Int("top", 10, "rules shown per workload under -ruleprofile (the rest fold into one row)")
@@ -87,6 +90,26 @@ func main() {
 			}
 		} else {
 			bench.WriteServeTable(os.Stdout, doc)
+		}
+		return
+	}
+
+	if *clusterBench {
+		doc, err := bench.RunCluster(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.MergeClusterJSON(*out, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: cluster: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "-" {
+				fmt.Fprintf(os.Stderr, "parbench: merged cluster results into %s (speedup %.2fx on %d CPU)\n", *out, doc.Speedup, doc.NumCPU)
+			}
+		} else {
+			bench.WriteClusterTable(os.Stdout, doc)
 		}
 		return
 	}

@@ -2,11 +2,20 @@
 // reports throughput and latency quantiles as JSON.
 //
 //	parload -url http://localhost:8467 -d 10s -c 8
+//	parload -url http://n1:8467,http://n2:8467,http://n3:8467   # cluster targets
 //	parload -mix assert=4,batch=2,run=1,snapshot=1 -batch 16
-//	parload -min-mutations-per-sec 100 -max-5xx 0    # CI smoke gate
+//	parload -min-mutations-per-sec 100 -max-5xx 0 -max-transport-errors 0   # CI smoke gate
+//
+// With multiple -url endpoints the generator spreads sessions across them,
+// follows 307 ownership redirects (caching the owner per session), and
+// fails a request over to the next endpoint when a node stops answering.
 //
 // The self-check flags make the process exit nonzero when the run violates
 // the given bounds, so CI can gate on a load run without parsing JSON.
+// 429 backpressure rejections and transport-level failures are counted
+// apart from 5xx: -max-5xx 0 tolerates deliberate admission-control
+// rejections and node kills, while -max-429 and -max-transport-errors
+// bound those separately when a run should see neither.
 package main
 
 import (
@@ -23,7 +32,7 @@ import (
 )
 
 func main() {
-	url := flag.String("url", "http://localhost:8467", "base URL of the paruleld instance")
+	url := flag.String("url", "http://localhost:8467", "base URL(s) of the paruleld instance(s), comma-separated for a cluster")
 	sessions := flag.Int("sessions", 4, "sessions to create and spread traffic over")
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	duration := flag.Duration("d", 10*time.Second, "how long to generate load")
@@ -34,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for the op mix")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	max5xx := flag.Int("max-5xx", -1, "self-check: fail when more than this many 5xx responses (-1 = off)")
+	max429 := flag.Int("max-429", -1, "self-check: fail when more than this many 429 backpressure rejections (-1 = off)")
+	maxTransport := flag.Int("max-transport-errors", -1, "self-check: fail when more than this many transport-level failures (-1 = off)")
 	minMutPerSec := flag.Float64("min-mutations-per-sec", 0, "self-check: fail when mutation throughput is below this")
 	flag.Parse()
 
@@ -41,8 +52,9 @@ func main() {
 	if err != nil {
 		fail("bad -mix: %v", err)
 	}
+	urls := strings.Split(*url, ",")
 	rep, err := load.Run(context.Background(), load.Config{
-		BaseURL:     *url,
+		BaseURLs:    urls,
 		Sessions:    *sessions,
 		Concurrency: *concurrency,
 		Duration:    *duration,
@@ -66,8 +78,17 @@ func main() {
 		os.Stdout.Write(enc)
 	}
 
+	fmt.Fprintf(os.Stderr, "parload: %d requests, %.1f mutations/sec, %d 5xx, %d 429, %d transport errors, %d redirects, %d retries\n",
+		rep.Requests, rep.MutationsPerSec, rep.Errors5xx, rep.Rejected429, rep.TransportErrors, rep.Redirects, rep.Retries)
+
 	if *max5xx >= 0 && rep.Errors5xx > *max5xx {
 		fail("self-check: %d 5xx responses (limit %d)", rep.Errors5xx, *max5xx)
+	}
+	if *max429 >= 0 && rep.Rejected429 > *max429 {
+		fail("self-check: %d 429 rejections (limit %d)", rep.Rejected429, *max429)
+	}
+	if *maxTransport >= 0 && rep.TransportErrors > *maxTransport {
+		fail("self-check: %d transport errors (limit %d)", rep.TransportErrors, *maxTransport)
 	}
 	if *minMutPerSec > 0 && rep.MutationsPerSec < *minMutPerSec {
 		fail("self-check: %.1f mutations/sec below the %.1f floor", rep.MutationsPerSec, *minMutPerSec)

@@ -5,6 +5,8 @@
 //	paruleld                      serve on :8467 with defaults
 //	paruleld -addr :9000          pick the listen address
 //	paruleld -max-sessions 256    widen the session pool
+//	paruleld -cluster-node a -cluster-peers a=:7467=http://h1:8467,b=:7468=http://h2:8467 -data-dir /var/parulel
+//	                              join a sharded cluster (see docs/SERVER.md "Cluster")
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // runs (bounded by -drain-timeout), and exits. See docs/SERVER.md for the
@@ -24,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"parulel/internal/cluster"
 	"parulel/internal/server"
 	"parulel/internal/wal"
 )
@@ -45,6 +48,11 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint a session after this many WAL records")
 	traceCycles := flag.Int("trace-cycles", 512, "per-session cycle-trace ring size served at /sessions/{id}/trace")
+	clusterNode := flag.String("cluster-node", "", "this node's name in -cluster-peers; empty = single-node mode")
+	clusterPeers := flag.String("cluster-peers", "", "full static member list: name=peerAddr=publicURL,... (must include this node)")
+	peerAddr := flag.String("peer-addr", "", "peer-protocol listen address (empty = this node's address from -cluster-peers)")
+	clusterRepl := flag.String("cluster-repl", "sync", "WAL replication to the follower node: sync, async or off")
+	clusterRedirect := flag.Bool("cluster-redirect", false, "answer requests for remote sessions with 307 redirects instead of proxying")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	quiet := flag.Bool("quiet", false, "suppress per-event logging")
@@ -69,6 +77,26 @@ func main() {
 	if err != nil {
 		fatal("bad -fsync policy", err)
 	}
+	var clusterCfg *cluster.Config
+	if *clusterNode != "" || *clusterPeers != "" {
+		if *clusterNode == "" || *clusterPeers == "" {
+			fatal("cluster mode", errors.New("-cluster-node and -cluster-peers must be set together"))
+		}
+		if *dataDir == "" {
+			fatal("cluster mode", errors.New("-data-dir is required: replication and migration stream WAL frames and checkpoints"))
+		}
+		members, err := cluster.ParseMembers(*clusterPeers)
+		if err != nil {
+			fatal("bad -cluster-peers", err)
+		}
+		clusterCfg = &cluster.Config{
+			Node:        *clusterNode,
+			Members:     members,
+			PeerAddr:    *peerAddr,
+			Replication: *clusterRepl,
+			Redirect:    *clusterRedirect,
+		}
+	}
 	cfg := server.Config{
 		MaxSessions:        *maxSessions,
 		IdleTTL:            *idleTTL,
@@ -84,11 +112,15 @@ func main() {
 		FsyncInterval:      *fsyncInterval,
 		CheckpointEvery:    *checkpointEvery,
 		TraceCycles:        *traceCycles,
+		Cluster:            clusterCfg,
 		Logger:             logger,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal("starting server", err)
+	}
+	if clusterCfg != nil {
+		logger.Info("cluster mode", "node", clusterCfg.Node, "members", len(clusterCfg.Members), "replication", *clusterRepl)
 	}
 
 	// pprof lives on its own listener so profiling is never exposed on the

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"parulel/internal/cluster"
+	"parulel/internal/load"
+	"parulel/internal/server"
+)
+
+// Cluster benchmark (`parbench -cluster`): boots a three-node paruleld
+// cluster in-process (real loopback TCP between peers, synchronous WAL
+// replication) and a single standalone node, drives both with the same
+// mutation-heavy load shape spread across every public endpoint, and
+// reports the aggregate-throughput ratio. The ratio is the sharding
+// headline: three nodes each own a third of the session keyspace, so
+// aggregate ingest should scale with node count when cores allow it —
+// NumCPU is recorded because on a single-core host all three nodes
+// compete for the same core and the ratio collapses to ~1x regardless
+// of how well the sharding works.
+
+// ClusterRun is one topology's measurement.
+type ClusterRun struct {
+	Nodes           int                     `json:"nodes"`
+	Mix             load.Mix                `json:"mix"`
+	Requests        int                     `json:"requests"`
+	RequestsPerSec  float64                 `json:"requests_per_sec"`
+	Mutations       int                     `json:"mutations"`
+	MutationsPerSec float64                 `json:"mutations_per_sec"`
+	Errors5xx       int                     `json:"errors_5xx"`
+	Rejected429     int                     `json:"rejected_429"`
+	TransportErrors int                     `json:"transport_errors"`
+	Redirects       int                     `json:"redirects"`
+	Ops             map[string]load.OpStats `json:"ops"`
+}
+
+// ClusterDoc is the `-cluster` document, merged into BENCH_*.json under
+// "cluster".
+type ClusterDoc struct {
+	Schema      string     `json:"schema"` // "parulel-cluster/v1"
+	GeneratedAt string     `json:"generated_at"`
+	GoVersion   string     `json:"go_version"`
+	NumCPU      int        `json:"num_cpu"`
+	Quick       bool       `json:"quick"`
+	Concurrency int        `json:"concurrency"`
+	Sessions    int        `json:"sessions"`
+	DurationMS  int64      `json:"duration_ms"` // per topology
+	Replication string     `json:"replication"`
+	SingleNode  ClusterRun `json:"single_node"`
+	ThreeNode   ClusterRun `json:"three_node"`
+	// Speedup is three-node/single-node aggregate mutation throughput.
+	Speedup float64 `json:"speedup"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// RunCluster measures single-node vs three-node aggregate ingest.
+func RunCluster(quick bool) (*ClusterDoc, error) {
+	dur := 8 * time.Second
+	if quick {
+		dur = 2 * time.Second
+	}
+	doc := &ClusterDoc{
+		Schema:      "parulel-cluster/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+		Concurrency: 8,
+		Sessions:    6,
+		DurationMS:  dur.Milliseconds(),
+		Replication: cluster.ReplSync,
+	}
+	mix := load.Mix{Assert: 4, Batch: 2}
+
+	single, err := oneClusterRun(1, mix, dur, doc)
+	if err != nil {
+		return nil, fmt.Errorf("single-node run: %w", err)
+	}
+	doc.SingleNode = *single
+
+	three, err := oneClusterRun(3, mix, dur, doc)
+	if err != nil {
+		return nil, fmt.Errorf("three-node run: %w", err)
+	}
+	doc.ThreeNode = *three
+
+	if doc.SingleNode.MutationsPerSec > 0 {
+		doc.Speedup = doc.ThreeNode.MutationsPerSec / doc.SingleNode.MutationsPerSec
+	}
+	if doc.NumCPU < 3 {
+		doc.Note = fmt.Sprintf("host has %d CPU(s); the three nodes time-share cores, so the speedup here measures sharding overhead, not parallel capacity — rerun on >=3 cores for the scaling number", doc.NumCPU)
+	}
+	return doc, nil
+}
+
+// oneClusterRun boots n nodes (n=1: standalone, no cluster config) under a
+// shared temp root and drives them with one load run across all endpoints.
+func oneClusterRun(n int, mix load.Mix, dur time.Duration, doc *ClusterDoc) (*ClusterRun, error) {
+	root, err := os.MkdirTemp("", "parulel-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	if n == 1 {
+		srv, err := server.New(server.Config{DataDir: root})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		defer closeServerBG(srv)
+		rep, err := load.Run(context.Background(), load.Config{
+			BaseURLs:    []string{ts.URL},
+			Sessions:    doc.Sessions,
+			Concurrency: doc.Concurrency,
+			Duration:    dur,
+			Mix:         mix,
+			BatchSize:   32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return clusterRunFromReport(1, rep), nil
+	}
+
+	peerLns := make([]net.Listener, n)
+	pubs := make([]*httptest.Server, n)
+	members := make([]cluster.Member, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		peerLns[i] = ln
+		pubs[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		members[i] = cluster.Member{
+			Name:      fmt.Sprintf("n%d", i),
+			PeerAddr:  ln.Addr().String(),
+			PublicURL: "http://" + pubs[i].Listener.Addr().String(),
+		}
+	}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(root, members[i].Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			DataDir: dir,
+			Cluster: &cluster.Config{
+				Node:         members[i].Name,
+				Members:      members,
+				PeerListener: peerLns[i],
+				Replication:  doc.Replication,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pubs[i].Config.Handler = srv
+		pubs[i].Start()
+		urls[i] = pubs[i].URL
+		defer pubs[i].Close()
+		defer closeServerBG(srv)
+	}
+
+	rep, err := load.Run(context.Background(), load.Config{
+		BaseURLs:    urls,
+		Sessions:    doc.Sessions,
+		Concurrency: doc.Concurrency,
+		Duration:    dur,
+		Mix:         mix,
+		BatchSize:   32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return clusterRunFromReport(n, rep), nil
+}
+
+func closeServerBG(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Close(ctx)
+}
+
+func clusterRunFromReport(n int, rep *load.Report) *ClusterRun {
+	return &ClusterRun{
+		Nodes:           n,
+		Mix:             rep.Config.Mix,
+		Requests:        rep.Requests,
+		RequestsPerSec:  rep.RequestsPerSec,
+		Mutations:       rep.Mutations,
+		MutationsPerSec: rep.MutationsPerSec,
+		Errors5xx:       rep.Errors5xx,
+		Rejected429:     rep.Rejected429,
+		TransportErrors: rep.TransportErrors,
+		Redirects:       rep.Redirects,
+		Ops:             rep.Ops,
+	}
+}
+
+// WriteClusterTable renders the document for terminal use.
+func WriteClusterTable(w io.Writer, doc *ClusterDoc) {
+	fmt.Fprintf(w, "cluster: single-node vs 3-node aggregate ingest (c=%d, sessions=%d, %s per topology, repl=%s)\n",
+		doc.Concurrency, doc.Sessions, time.Duration(doc.DurationMS)*time.Millisecond, doc.Replication)
+	fmt.Fprintf(w, "  %-10s %10s %12s %14s %6s %6s %10s\n", "topology", "requests", "req/s", "mutations/s", "5xx", "429", "redirects")
+	for _, row := range []struct {
+		name string
+		r    ClusterRun
+	}{{"1-node", doc.SingleNode}, {"3-node", doc.ThreeNode}} {
+		fmt.Fprintf(w, "  %-10s %10d %12.1f %14.1f %6d %6d %10d\n",
+			row.name, row.r.Requests, row.r.RequestsPerSec, row.r.MutationsPerSec, row.r.Errors5xx, row.r.Rejected429, row.r.Redirects)
+	}
+	fmt.Fprintf(w, "  aggregate speedup: %.2fx (%d CPU)\n", doc.Speedup, doc.NumCPU)
+	if doc.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", doc.Note)
+	}
+}
+
+// MergeClusterJSON writes the cluster document into path under a "cluster"
+// key, preserving every other key of an existing BENCH_*.json ("-" =
+// stdout, cluster document only).
+func MergeClusterJSON(path string, doc *ClusterDoc) error {
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	merged := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &merged); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged["cluster"] = doc
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"parulel/internal/wal"
+)
+
+func TestRingOwnerAndOrder(t *testing.T) {
+	members := []string{"n0", "n1", "n2"}
+	r := NewRing(members, 64)
+
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("s-n0-%d", i)
+		owner := r.Owner(key)
+		counts[owner]++
+
+		order := r.Order(key)
+		if len(order) != len(members) {
+			t.Fatalf("Order(%q) = %v: want every member exactly once", key, order)
+		}
+		seen := make(map[string]bool)
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("Order(%q) = %v repeats %s", key, order, m)
+			}
+			seen[m] = true
+		}
+		if order[0] != owner {
+			t.Fatalf("Order(%q)[0] = %s, Owner = %s", key, order[0], owner)
+		}
+	}
+	// With 64 vnodes each of 3 members should own a meaningful share; a
+	// grossly imbalanced ring means the vnode hashing is broken.
+	for _, m := range members {
+		if counts[m] < 300 {
+			t.Fatalf("member %s owns only %d/3000 keys: %v", m, counts[m], counts)
+		}
+	}
+}
+
+// TestRingAgreesAcrossInputOrder: two nodes building the ring from the
+// same member set in different list orders must route identically.
+func TestRingAgreesAcrossInputOrder(t *testing.T) {
+	a := NewRing([]string{"n0", "n1", "n2"}, 32)
+	b := NewRing([]string{"n2", "n0", "n1"}, 32)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		if got, want := b.Owner(key), a.Owner(key); got != want {
+			t.Fatalf("rings disagree on %q: %s vs %s", key, got, want)
+		}
+		if got, want := b.Order(key), a.Order(key); !reflect.DeepEqual(got, want) {
+			t.Fatalf("orders disagree on %q: %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestRingFailoverIsSuccessor: the property internal/server's replica
+// placement relies on — when a key's owner is excluded, the first live
+// candidate is Order(key)[1], so placing the replica there makes failover
+// land exactly on the replica holder.
+func TestRingFailoverIsSuccessor(t *testing.T) {
+	r := NewRing([]string{"n0", "n1", "n2", "n3"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		order := r.Order(key)
+		down := order[0]
+		first := ""
+		for _, m := range order {
+			if m != down {
+				first = m
+				break
+			}
+		}
+		if first != order[1] {
+			t.Fatalf("failover for %q landed on %s, replica is on %s", key, first, order[1])
+		}
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("a=127.0.0.1:7467=http://h1:8467, b=127.0.0.1:7468=http://h2:8467/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{Name: "a", PeerAddr: "127.0.0.1:7467", PublicURL: "http://h1:8467"},
+		{Name: "b", PeerAddr: "127.0.0.1:7468", PublicURL: "http://h2:8467"},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("got %+v, want %+v", ms, want)
+	}
+	for _, bad := range []string{"", "a=only-two-fields", "nameonly"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Fatalf("ParseMembers(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	members := []Member{
+		{Name: "a", PeerAddr: ":1", PublicURL: "http://a"},
+		{Name: "b", PeerAddr: ":2", PublicURL: "http://b"},
+	}
+	good := Config{Node: "a", Members: members}.WithDefaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{Node: "", Members: members},                                            // no identity
+		{Node: "c", Members: members},                                           // not a member
+		{Node: "a", Members: members[:1]},                                       // one node is not a cluster
+		{Node: "a", Members: append([]Member{members[0]}, members[0])},          // duplicate
+		{Node: "a", Members: members, Replication: "eventually-maybe"},          // bad policy
+		{Node: "a", Members: []Member{{Name: "a", PublicURL: "x"}, members[1]}}, // missing peer addr
+	}
+	for i, c := range cases {
+		if c.Replication == "" {
+			c.Replication = ReplSync
+		}
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[byte][]byte{
+		frameHello:   []byte(`{"node":"a","purpose":"control"}`),
+		frameRecord:  []byte(`{"seq":7}`),
+		frameCutover: nil,
+	}
+	for typ, p := range payloads {
+		if err := WriteFrame(&buf, typ, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(payloads); i++ {
+		typ, p, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := payloads[typ]
+		if !bytes.Equal(p, want) && !(len(p) == 0 && len(want) == 0) {
+			t.Fatalf("frame %c payload %q, want %q", typ, p, want)
+		}
+	}
+}
+
+// TestStateRoundTrip: WriteState → ReadState reproduces the session state
+// exactly, including a mid-stream Reset discarding earlier records.
+func TestStateRoundTrip(t *testing.T) {
+	st := SessionState{
+		Checkpoint: []byte("checkpoint-image-bytes"),
+		Tail: []wal.Record{
+			{Seq: 5, Op: wal.OpAssert, Template: "item"},
+			{Seq: 6, Op: wal.OpRun, Count: 3},
+		},
+	}
+	var pipe bytes.Buffer
+	if err := WriteState(&pipe, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadState(&pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Checkpoint, st.Checkpoint) {
+		t.Fatalf("checkpoint image differs: %q vs %q", got.Checkpoint, st.Checkpoint)
+	}
+	if !reflect.DeepEqual(got.Tail, st.Tail) {
+		t.Fatalf("tail differs:\n got %+v\nwant %+v", got.Tail, st.Tail)
+	}
+
+	// A Reset frame mid-stream discards everything read so far.
+	var buf bytes.Buffer
+	if err := writeJSONFrame(&buf, frameRecord, &wal.Record{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, frameReset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteState(&buf, SessionState{Tail: []wal.Record{{Seq: 9}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tail) != 1 || got.Tail[0].Seq != 9 {
+		t.Fatalf("reset not honored: %+v", got.Tail)
+	}
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"parulel/internal/wal"
+)
+
+// The peer wire protocol is a stream of typed, length-prefixed frames:
+//
+//	[1 byte frame type][uint32 LE payload length][payload]
+//
+// carried over a plain TCP connection. A connection opens with one Hello
+// frame naming its purpose and then speaks that purpose's sub-protocol:
+//
+//	control    one Ping, Moved or DropReplica frame per request, each
+//	           answered with an Ack; the connection is reused.
+//	replicate  a session-state sync (Checkpoint? Record* Cutover) that is
+//	           applied silently and acked once at the Cutover barrier,
+//	           then live streaming where every Record/Checkpoint/Reset
+//	           frame is acked individually — the ack is what makes
+//	           replication synchronous.
+//	migrate    a session-state sync (Checkpoint? Record* Cutover); the
+//	           single ack after Cutover reports whether the receiving
+//	           node installed and activated the session.
+//
+// Payloads are JSON except Checkpoint, whose payload is the raw
+// checkpoint file image (already framed and checksummed by
+// internal/checkpoint). Record payloads are wal.Record JSON with the
+// primary's sequence numbers preserved; the replica's log keeps them so
+// a promoted replica recovers exactly like a crashed primary.
+const (
+	frameHello      = 'H'
+	frameRecord     = 'R'
+	frameCheckpoint = 'C'
+	frameReset      = 'T' // truncate the replica log; pairs with Checkpoint
+	frameCutover    = 'V' // end of a session-state sync
+	framePing       = 'P'
+	frameMoved      = 'M'
+	frameDrop       = 'D'
+	frameAck        = 'A'
+)
+
+// maxFrameBytes bounds one frame payload. Checkpoint images are the
+// largest legitimate payload (a full working-memory snapshot).
+const maxFrameBytes = 256 << 20
+
+// Stream purposes named in Hello frames.
+const (
+	PurposeControl   = "control"
+	PurposeReplicate = "replicate"
+	PurposeMigrate   = "migrate"
+)
+
+// Hello opens a peer connection.
+type Hello struct {
+	Node    string `json:"node"`
+	Purpose string `json:"purpose"`
+	// Session scopes replicate and migrate streams.
+	Session string `json:"session,omitempty"`
+}
+
+// Ping is a control heartbeat. It piggybacks the sender's route-override
+// table so nodes that were down when a migration was broadcast converge
+// on the same routing once they are pinged again.
+type Ping struct {
+	Node      string  `json:"node"`
+	Overrides []Moved `json:"overrides,omitempty"`
+}
+
+// Moved records that a session's ownership was explicitly transferred —
+// by an admin move or by a replica promotion — overriding the hash
+// placement. Seq orders competing claims: highest wins.
+type Moved struct {
+	Session string `json:"session"`
+	Target  string `json:"target"`
+	Seq     uint64 `json:"seq"`
+}
+
+// Drop asks a node to discard its replica of a session whose replication
+// stream now originates elsewhere.
+type Drop struct {
+	Session string `json:"session"`
+}
+
+// Ack answers a frame. Seq echoes the WAL sequence number for record
+// acks (0 otherwise); a non-empty Err reports the failure and usually
+// precedes the server closing the connection.
+type Ack struct {
+	Seq uint64 `json:"seq,omitempty"`
+	Err string `json:"err,omitempty"`
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJSONFrame marshals v and writes it as one frame of the given type.
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %c frame: %w", typ, err)
+	}
+	return WriteFrame(w, typ, payload)
+}
+
+// ReadFrame reads one frame, bounding the payload size.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds the %d limit", n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("cluster: truncated %c frame: %w", hdr[0], err)
+	}
+	return hdr[0], payload, nil
+}
+
+// readAck reads one frame and requires it to be an Ack; a non-empty
+// Ack.Err is surfaced as an error.
+func readAck(r io.Reader) (Ack, error) {
+	typ, payload, err := ReadFrame(r)
+	if err != nil {
+		return Ack{}, err
+	}
+	if typ != frameAck {
+		return Ack{}, fmt.Errorf("cluster: expected ack, got %c frame", typ)
+	}
+	var a Ack
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return Ack{}, fmt.Errorf("cluster: decoding ack: %w", err)
+	}
+	if a.Err != "" {
+		return a, fmt.Errorf("cluster: peer error: %s", a.Err)
+	}
+	return a, nil
+}
+
+// decodeRecord decodes a Record frame payload.
+func decodeRecord(payload []byte) (*wal.Record, error) {
+	var rec wal.Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("cluster: decoding record frame: %w", err)
+	}
+	return &rec, nil
+}
+
+// ErrStreamClosed reports an orderly remote close of a peer stream.
+var ErrStreamClosed = errors.New("cluster: peer closed the stream")

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"parulel/internal/wal"
+)
+
+// Backend is the node-side policy the peer server delegates to; it is
+// implemented by internal/server, which owns the session pool and the
+// on-disk stores. Methods must be safe for concurrent use.
+type Backend interface {
+	// OpenReplica opens the replica store for a session, discarding any
+	// previous replica state — a new stream always begins with a full
+	// state sync.
+	OpenReplica(session string) (Replica, error)
+	// InstallMigrated writes a transferred session's state into the local
+	// session store and activates it. A non-nil error refuses the cutover
+	// and must leave no trace of the session behind.
+	InstallMigrated(session string, st SessionState) error
+	// HandleMoved merges one routing override learned from a peer.
+	HandleMoved(m Moved)
+	// HandlePing merges the pinging node's override table.
+	HandlePing(p Ping)
+	// DropReplica discards the local replica of a session (its
+	// replication stream now originates elsewhere, or it migrated away).
+	DropReplica(session string) error
+}
+
+// Replica is a follower's handle on one session's replica store.
+type Replica interface {
+	// AppendRecord appends one primary WAL record, preserving its
+	// sequence number.
+	AppendRecord(rec *wal.Record) error
+	// PutCheckpoint atomically replaces the replica's checkpoint image.
+	PutCheckpoint(image []byte) error
+	// Reset truncates the replica's log (covered by the checkpoint).
+	Reset() error
+	// Close releases file handles, keeping the replica on disk.
+	Close() error
+}
+
+// PeerServer speaks the peer protocol's receiving side.
+type PeerServer struct {
+	ln      net.Listener
+	backend Backend
+	timeout time.Duration
+	log     *slog.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPeerServer wraps an accepted listener. Call Serve (usually in a
+// goroutine) to start accepting and Close to stop.
+func NewPeerServer(ln net.Listener, backend Backend, ioTimeout time.Duration, logger *slog.Logger) *PeerServer {
+	if ioTimeout <= 0 {
+		ioTimeout = 5 * time.Second
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &PeerServer{
+		ln:      ln,
+		backend: backend,
+		timeout: ioTimeout,
+		log:     logger,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr returns the listener's address.
+func (s *PeerServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts peer connections until the listener closes.
+func (s *PeerServer) Serve() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, force-closes live peer connections and waits
+// for their handlers.
+func (s *PeerServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func ack(w io.Writer, a Ack) error { return writeJSONFrame(w, frameAck, a) }
+
+func ackErr(w io.Writer, err error) {
+	_ = ack(w, Ack{Err: err.Error()})
+}
+
+func (s *PeerServer) handle(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	c.SetDeadline(time.Now().Add(s.timeout))
+	typ, payload, err := ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if typ != frameHello {
+		ackErr(c, fmt.Errorf("expected hello, got %c frame", typ))
+		return
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		ackErr(c, fmt.Errorf("bad hello: %v", err))
+		return
+	}
+	switch h.Purpose {
+	case PurposeControl, PurposeReplicate, PurposeMigrate:
+	default:
+		ackErr(c, fmt.Errorf("unknown purpose %q", h.Purpose))
+		return
+	}
+	if (h.Purpose == PurposeReplicate || h.Purpose == PurposeMigrate) && h.Session == "" {
+		ackErr(c, errors.New("purpose requires a session"))
+		return
+	}
+	if err := ack(c, Ack{}); err != nil {
+		return
+	}
+	switch h.Purpose {
+	case PurposeControl:
+		s.serveControl(c, br)
+	case PurposeReplicate:
+		s.serveReplicate(c, br, h)
+	case PurposeMigrate:
+		s.serveMigrate(c, br, h)
+	}
+}
+
+// serveControl answers ping/moved/drop frames until the peer hangs up.
+// Control connections are long-lived (the client caches them), so each
+// read waits well past the ping interval before giving up.
+func (s *PeerServer) serveControl(c net.Conn, br *bufio.Reader) {
+	for {
+		c.SetDeadline(time.Now().Add(10 * time.Minute))
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		c.SetDeadline(time.Now().Add(s.timeout))
+		switch typ {
+		case framePing:
+			var p Ping
+			if err := json.Unmarshal(payload, &p); err != nil {
+				ackErr(c, err)
+				return
+			}
+			s.backend.HandlePing(p)
+			if err := ack(c, Ack{}); err != nil {
+				return
+			}
+		case frameMoved:
+			var m Moved
+			if err := json.Unmarshal(payload, &m); err != nil {
+				ackErr(c, err)
+				return
+			}
+			s.backend.HandleMoved(m)
+			if err := ack(c, Ack{}); err != nil {
+				return
+			}
+		case frameDrop:
+			var d Drop
+			if err := json.Unmarshal(payload, &d); err != nil {
+				ackErr(c, err)
+				return
+			}
+			if err := s.backend.DropReplica(d.Session); err != nil {
+				ackErr(c, err)
+				return
+			}
+			if err := ack(c, Ack{}); err != nil {
+				return
+			}
+		default:
+			ackErr(c, fmt.Errorf("unexpected %c frame on control stream", typ))
+			return
+		}
+	}
+}
+
+// serveReplicate applies a session's replication stream: a silent state
+// sync up to the Cutover barrier (acked once), then individually acked
+// live frames until the primary hangs up.
+func (s *PeerServer) serveReplicate(c net.Conn, br *bufio.Reader, h Hello) {
+	rep, err := s.backend.OpenReplica(h.Session)
+	if err != nil {
+		ackErr(c, err)
+		return
+	}
+	defer rep.Close()
+	synced := false
+	for {
+		// Live streams idle between mutations; only the sync phase is
+		// held to the tighter transfer deadline.
+		if synced {
+			c.SetDeadline(time.Now().Add(10 * time.Minute))
+		} else {
+			c.SetDeadline(time.Now().Add(4 * s.timeout))
+		}
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		c.SetDeadline(time.Now().Add(s.timeout))
+		var seq uint64
+		switch typ {
+		case frameRecord:
+			rec, derr := decodeRecord(payload)
+			if derr == nil {
+				seq = rec.Seq
+				derr = rep.AppendRecord(rec)
+			}
+			err = derr
+		case frameCheckpoint:
+			err = rep.PutCheckpoint(payload)
+		case frameReset:
+			err = rep.Reset()
+		case frameCutover:
+			synced = true
+			err = ack(c, Ack{})
+			if err != nil {
+				return
+			}
+			continue
+		default:
+			err = fmt.Errorf("unexpected %c frame on replication stream", typ)
+		}
+		if err != nil {
+			s.log.Warn("replication stream failed", "session", h.Session, "node", h.Node, "err", err)
+			ackErr(c, err)
+			return
+		}
+		if synced {
+			if err := ack(c, Ack{Seq: seq}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveMigrate receives one session's state and installs it; the single
+// ack after Cutover is the cutover decision.
+func (s *PeerServer) serveMigrate(c net.Conn, br *bufio.Reader, h Hello) {
+	c.SetDeadline(time.Now().Add(4 * s.timeout))
+	st, err := ReadState(br)
+	if err != nil {
+		s.log.Warn("migration transfer failed", "session", h.Session, "node", h.Node, "err", err)
+		ackErr(c, err)
+		return
+	}
+	c.SetDeadline(time.Now().Add(4 * s.timeout))
+	if err := s.backend.InstallMigrated(h.Session, st); err != nil {
+		s.log.Warn("migration install refused", "session", h.Session, "node", h.Node, "err", err)
+		ackErr(c, err)
+		return
+	}
+	s.log.Info("session migrated in", "session", h.Session, "from", h.Node)
+	_ = ack(c, Ack{})
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -50,7 +51,13 @@ func (m Mix) total() int { return m.Assert + m.Batch + m.Run + m.Snapshot }
 
 // Config parameterizes one load run.
 type Config struct {
-	BaseURL     string        `json:"base_url"`
+	BaseURL string `json:"base_url,omitempty"`
+	// BaseURLs lists every endpoint traffic spreads over (cluster mode).
+	// Sessions are created round-robin across endpoints and pin to the
+	// endpoint that last answered them: a 307 ownership redirect re-pins,
+	// and a transport error fails the request over to the next endpoint.
+	// Empty falls back to BaseURL.
+	BaseURLs    []string      `json:"base_urls,omitempty"`
 	Sessions    int           `json:"sessions"`    // sessions created and targeted; default 4
 	Concurrency int           `json:"concurrency"` // client goroutines; default 8
 	Duration    time.Duration `json:"-"`
@@ -64,6 +71,12 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.BaseURLs) == 0 {
+		c.BaseURLs = []string{c.BaseURL}
+	}
+	for i, b := range c.BaseURLs {
+		c.BaseURLs[i] = strings.TrimSuffix(b, "/")
+	}
 	if c.Sessions <= 0 {
 		c.Sessions = 4
 	}
@@ -86,7 +99,13 @@ func (c Config) withDefaults() Config {
 		c.RunTimeout = 10 * time.Second
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 30 * time.Second}
+		// Redirects are handled by the workers themselves (they cache the
+		// owner endpoint per session), so the client must surface the 307
+		// instead of silently following it.
+		c.Client = &http.Client{
+			Timeout:       30 * time.Second,
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
 	}
 	return c
 }
@@ -94,8 +113,9 @@ func (c Config) withDefaults() Config {
 // OpStats aggregates one operation kind's outcomes.
 type OpStats struct {
 	Count       int     `json:"count"`
-	Errors      int     `json:"errors"`       // non-2xx other than 429
+	Errors      int     `json:"errors"`       // non-2xx other than 429 and transport failures
 	Rejected429 int     `json:"rejected_429"` // backpressure fast-fails
+	Transport   int     `json:"transport_errors,omitempty"`
 	P50MS       float64 `json:"p50_ms"`
 	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
@@ -112,17 +132,72 @@ type Report struct {
 	MutationsPerSec float64            `json:"mutations_per_sec"`
 	Errors5xx       int                `json:"errors_5xx"`
 	Rejected429     int                `json:"rejected_429"`
+	TransportErrors int                `json:"transport_errors"` // connection-level failures, counted apart from 5xx
+	Retries         int                `json:"retries"`          // failover re-sends after a transport error
+	Redirects       int                `json:"redirects"`        // 307 ownership redirects followed
 	Ops             map[string]OpStats `json:"ops"`
 	StatusCounts    map[string]int     `json:"status_counts"`
 }
 
+// statusTransport is the synthetic status recorded when a request never
+// reached a server (connection refused, reset, client timeout). Kept out
+// of the 5xx bucket: during a deliberate node kill these are expected,
+// while a 5xx from a live server never is.
+const statusTransport = 599
+
 // sample is one completed request, recorded lock-free per worker and
 // merged at the end.
 type sample struct {
-	op      string
-	status  int
-	latency time.Duration
-	facts   int // mutations this request asserted (0 unless 2xx)
+	op        string
+	status    int
+	latency   time.Duration
+	facts     int // mutations this request asserted (0 unless 2xx)
+	retries   int // transport-failover re-sends within this request
+	redirects int // 307s followed within this request
+}
+
+// router maps each session to its current home endpoint. New sessions
+// round-robin across the base URLs; a 307 or a failover re-pins.
+type router struct {
+	mu    sync.Mutex
+	bases []string
+	home  map[string]string
+	next  int
+}
+
+func newRouter(bases []string) *router {
+	return &router{bases: bases, home: make(map[string]string)}
+}
+
+func (r *router) pick(sessID string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.home[sessID]; ok {
+		return b
+	}
+	b := r.bases[r.next%len(r.bases)]
+	r.next++
+	r.home[sessID] = b
+	return b
+}
+
+func (r *router) pin(sessID, base string) {
+	r.mu.Lock()
+	r.home[sessID] = base
+	r.mu.Unlock()
+}
+
+// failover returns the endpoint after base in ring order, so a dead node's
+// traffic lands on one live endpoint instead of scattering.
+func (r *router) failover(base string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, b := range r.bases {
+		if b == base {
+			return r.bases[(i+1)%len(r.bases)]
+		}
+	}
+	return r.bases[0]
 }
 
 // Run executes the load shape against a live server and aggregates the
@@ -132,13 +207,16 @@ type sample struct {
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 
+	rt := newRouter(cfg.BaseURLs)
 	sessions := make([]string, cfg.Sessions)
 	for i := range sessions {
-		id, err := createSession(ctx, cfg)
+		base := cfg.BaseURLs[i%len(cfg.BaseURLs)]
+		id, err := createSession(ctx, cfg, base)
 		if err != nil {
-			return nil, fmt.Errorf("creating session %d: %w", i, err)
+			return nil, fmt.Errorf("creating session %d on %s: %w", i, base, err)
 		}
 		sessions[i] = id
+		rt.pin(id, base)
 	}
 
 	deadline, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -162,7 +240,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				// Unique fact keys per worker so lost mutations are
 				// detectable by counting (soak tests rely on this).
 				key := fmt.Sprintf("w%d-%d", w, n)
-				s := doOp(deadline, cfg, op, sessID, key)
+				s := doOp(deadline, cfg, rt, op, sessID, key)
 				if s.status != 0 {
 					local = append(local, s)
 				}
@@ -191,7 +269,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				counts[s.op] = st
 			}
 			st.Count++
+			rep.Retries += s.retries
+			rep.Redirects += s.redirects
 			switch {
+			case s.status == statusTransport:
+				st.Transport++
+				rep.TransportErrors++
 			case s.status == http.StatusTooManyRequests:
 				st.Rejected429++
 				rep.Rejected429++
@@ -239,19 +322,19 @@ func pick(m Mix, rng *rand.Rand) string {
 	}
 }
 
-// doOp issues one request. A zero-status sample means the request never
+// doOp issues one request, following at most one ownership redirect and
+// one transport failover. A zero-status sample means the request never
 // completed (context over mid-flight) and is not counted.
-func doOp(ctx context.Context, cfg Config, op, sessID, key string) sample {
-	base := strings.TrimSuffix(cfg.BaseURL, "/") + "/api/v1/sessions/" + sessID
+func doOp(ctx context.Context, cfg Config, rt *router, op, sessID, key string) sample {
 	var (
 		method = http.MethodPost
-		url    string
+		path   = "/api/v1/sessions/" + sessID
 		body   any
 		facts  int
 	)
 	switch op {
 	case "assert":
-		url = base + "/facts"
+		path += "/facts"
 		body = map[string]any{"facts": []any{fact(key)}}
 		facts = 1
 	case "batch":
@@ -259,31 +342,61 @@ func doOp(ctx context.Context, cfg Config, op, sessID, key string) sample {
 		for i := range fs {
 			fs[i] = fact(fmt.Sprintf("%s-%d", key, i))
 		}
-		url = base + "/batch"
+		path += "/batch"
 		body = map[string]any{"ops": []any{map[string]any{"op": "assert", "facts": fs}}}
 		facts = cfg.BatchSize
 	case "run":
-		url = base + "/run"
+		path += "/run"
 		body = map[string]any{"timeout_ms": cfg.RunTimeout.Milliseconds()}
 	case "snapshot":
 		method = http.MethodGet
-		url = base + "/snapshot"
+		path += "/snapshot"
 	}
+	base := rt.pick(sessID)
+	s := sample{op: op}
 	t0 := time.Now()
-	status, err := do(ctx, cfg.Client, method, url, body, nil)
-	if err != nil {
-		// Transport failures count as 599 so "zero 5xx" smoke checks catch
-		// a flapping server, not just one answering 500s.
-		return sample{op: op, status: 599, latency: time.Since(t0)}
+	for attempt := 0; ; attempt++ {
+		status, loc, err := do(ctx, cfg.Client, method, base+path, body, nil)
+		switch {
+		case err != nil:
+			// Never reached a server. Fail over once to the next endpoint:
+			// in a cluster the session's replica owner answers there.
+			if attempt == 0 && len(cfg.BaseURLs) > 1 {
+				base = rt.failover(base)
+				rt.pin(sessID, base)
+				s.retries++
+				continue
+			}
+			s.status = statusTransport
+		case status == 0:
+			return sample{} // run ended mid-flight; not an observation
+		case status == http.StatusTemporaryRedirect && loc != "":
+			// Ownership redirect: cache the owner and retry there.
+			if nb := baseOf(loc); nb != "" && attempt == 0 {
+				rt.pin(sessID, nb)
+				base = nb
+				s.redirects++
+				continue
+			}
+			s.status = status
+		default:
+			s.status = status
+			if status < 300 {
+				s.facts = facts
+			}
+		}
+		s.latency = time.Since(t0)
+		return s
 	}
-	if status == 0 {
-		return sample{} // run ended mid-flight; not an observation
+}
+
+// baseOf extracts scheme://host from a redirect Location.
+func baseOf(loc string) string {
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return ""
 	}
-	s := sample{op: op, status: status, latency: time.Since(t0)}
-	if status < 300 {
-		s.facts = facts
-	}
-	return s
+	return u.Scheme + "://" + u.Host
 }
 
 // fact renders one workload item in wire form.
@@ -291,7 +404,7 @@ func fact(key string) map[string]any {
 	return map[string]any{"template": "item", "fields": map[string]any{"k": key, "state": "new"}}
 }
 
-func createSession(ctx context.Context, cfg Config) (string, error) {
+func createSession(ctx context.Context, cfg Config, base string) (string, error) {
 	var out struct {
 		ID string `json:"id"`
 	}
@@ -299,7 +412,7 @@ func createSession(ctx context.Context, cfg Config) (string, error) {
 	if cfg.Workers > 0 {
 		req["workers"] = cfg.Workers
 	}
-	status, err := do(ctx, cfg.Client, http.MethodPost, strings.TrimSuffix(cfg.BaseURL, "/")+"/api/v1/sessions", req, &out)
+	status, _, err := do(ctx, cfg.Client, http.MethodPost, base+"/api/v1/sessions", req, &out)
 	if err != nil {
 		return "", err
 	}
@@ -310,19 +423,20 @@ func createSession(ctx context.Context, cfg Config) (string, error) {
 }
 
 // do issues one JSON request, measuring nothing itself — callers time it.
-// The response body is always drained so connections are reused.
-func do(ctx context.Context, client *http.Client, method, url string, in, out any) (int, error) {
+// The response body is always drained so connections are reused. The
+// second return is the Location header of a redirect response.
+func do(ctx context.Context, client *http.Client, method, url string, in, out any) (int, string, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return 0, err
+			return 0, "", err
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -330,16 +444,16 @@ func do(ctx context.Context, client *http.Client, method, url string, in, out an
 	resp, err := client.Do(req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return 0, nil
+			return 0, "", nil
 		}
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, "", err
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("Location"), nil
 }

@@ -1,0 +1,906 @@
+package server
+
+// Cluster mode glues internal/cluster's mechanics to the session pool.
+// Each node owns the slice of the session-id keyspace the consistent-hash
+// ring assigns it; any node accepts any request and proxies (or 307
+// redirects) those for sessions it does not own. A session's WAL frames
+// stream to a follower — the next distinct member in the session's ring
+// preference order — so when the owner dies, the node requests fail over
+// to is exactly the node holding the replica, which promotes it through
+// the ordinary recovery path: cluster failover is "recovery over the
+// wire". Live migration reuses the same session-state stream (checkpoint
+// image + WAL tail) with the session slot held, so mutations block only
+// for the transfer itself.
+//
+// Explicit ownership transfers (admin moves, promotions) are recorded as
+// route overrides and broadcast to every peer; pings piggyback the
+// override table so nodes that were down converge after rejoining.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"parulel/internal/cluster"
+	"parulel/internal/wal"
+)
+
+// forwardedHeader marks a proxied peer request. A node receiving one
+// serves it locally even if it believes another node owns the session:
+// the two nodes' routing disagreed (membership churn), and bouncing the
+// request back would loop.
+const forwardedHeader = "X-Parulel-Forwarded"
+
+// clusterState is one node's runtime view of the cluster.
+type clusterState struct {
+	cfg      cluster.Config
+	members  map[string]cluster.Member
+	ring     *cluster.Ring
+	mship    *cluster.Membership
+	client   *cluster.Client
+	peerSrv  *cluster.PeerServer
+	httpc    *http.Client
+	replRoot string // <DataDir>/replicas
+
+	mu        sync.Mutex
+	overrides map[string]cluster.Moved
+	moveSeq   uint64
+	replicas  map[string]*serverReplica // open replica handles, by session
+}
+
+// startCluster wires the node into the cluster: peer listener, health
+// pings, replica root. Called from New after the store is open.
+func (s *Server) startCluster(cfg cluster.Config) error {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if s.store == nil {
+		return errors.New("cluster: mode requires a data directory (replication streams WAL frames)")
+	}
+	cs := &clusterState{
+		cfg:       cfg,
+		members:   make(map[string]cluster.Member, len(cfg.Members)),
+		mship:     cluster.NewMembership(cfg),
+		client:    cluster.NewClient(cfg.Node, cfg.IOTimeout),
+		httpc:     &http.Client{}, // per-request contexts bound proxy calls
+		replRoot:  filepath.Join(s.cfg.DataDir, "replicas"),
+		overrides: make(map[string]cluster.Moved),
+		replicas:  make(map[string]*serverReplica),
+	}
+	names := make([]string, 0, len(cfg.Members))
+	for _, m := range cfg.Members {
+		cs.members[m.Name] = m
+		names = append(names, m.Name)
+	}
+	cs.ring = cluster.NewRing(names, cfg.VNodes)
+	if err := os.MkdirAll(cs.replRoot, 0o755); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	ln := cfg.PeerListener
+	if ln == nil {
+		addr := cfg.PeerAddr
+		if addr == "" {
+			addr = cfg.Self().PeerAddr
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return fmt.Errorf("cluster: peer listener: %w", err)
+		}
+	}
+	cs.peerSrv = cluster.NewPeerServer(ln, &clusterBackend{s}, cfg.IOTimeout, s.cfg.Logger)
+	go cs.peerSrv.Serve()
+	cs.mship.Start(cfg.PingInterval, func(m cluster.Member) error {
+		return cs.client.Ping(m, cs.snapshotOverrides())
+	})
+	s.cluster = cs
+	s.metrics.enableCluster(cfg.Node)
+	s.cfg.Logger.Info("cluster mode up",
+		"node", cfg.Node, "members", len(cfg.Members), "peer_addr", ln.Addr().String(),
+		"replication", cfg.Replication, "redirect", cfg.Redirect)
+	return nil
+}
+
+// stopCluster tears the node out of the cluster during Close.
+func (s *Server) stopCluster() {
+	cs := s.cluster
+	if cs == nil {
+		return
+	}
+	cs.mship.Stop()
+	cs.peerSrv.Close()
+	cs.client.Close()
+	cs.mu.Lock()
+	reps := make([]*serverReplica, 0, len(cs.replicas))
+	for _, rep := range cs.replicas {
+		reps = append(reps, rep)
+	}
+	cs.mu.Unlock()
+	for _, rep := range reps {
+		rep.Close()
+	}
+}
+
+// ---- routing ----
+
+// candidates returns the preference order for a session id: the route
+// override's target first (an explicit transfer beats hash placement),
+// then the ring walk.
+func (cs *clusterState) candidates(id string) []string {
+	order := cs.ring.Order(id)
+	cs.mu.Lock()
+	ov, ok := cs.overrides[id]
+	cs.mu.Unlock()
+	if !ok {
+		return order
+	}
+	out := make([]string, 0, len(order)+1)
+	out = append(out, ov.Target)
+	for _, n := range order {
+		if n != ov.Target {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// effectiveOwner is the first live candidate — the node a request for the
+// session should be served by right now. Empty when every candidate is
+// down (never the case for self-owned keys: self is always up).
+func (cs *clusterState) effectiveOwner(id string) string {
+	return cs.mship.FirstUp(cs.candidates(id))
+}
+
+// replicaTarget picks the node that should hold id's replica: the first
+// live candidate that is not this node, skipping names that already
+// failed during this request. Ring property: with no override, this is
+// exactly the node effectiveOwner falls back to if this node dies.
+func (cs *clusterState) replicaTarget(id string, failed map[string]bool) (cluster.Member, bool) {
+	for _, name := range cs.candidates(id) {
+		if name == cs.cfg.Node || failed[name] || !cs.mship.Up(name) {
+			continue
+		}
+		return cs.members[name], true
+	}
+	return cluster.Member{}, false
+}
+
+// routed wraps a session-scoped handler with the ownership check. Not in
+// cluster mode it is the handler unchanged.
+func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cs := s.cluster
+		if cs == nil {
+			h(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		owner := cs.effectiveOwner(id)
+		switch {
+		case owner == cs.cfg.Node:
+			if err := s.adoptIfNeeded(r.Context(), id); err != nil {
+				writeError(w, http.StatusInternalServerError, "replica promotion failed: "+err.Error())
+				return
+			}
+			h(w, r)
+		case r.Header.Get(forwardedHeader) != "":
+			// A peer already decided we own this; serve locally rather than
+			// bounce a routing disagreement around the cluster.
+			h(w, r)
+		case owner == "":
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("no live owner for session %q", id))
+		case cs.cfg.Redirect:
+			s.metrics.clusterRedirected()
+			http.Redirect(w, r, cs.members[owner].PublicURL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		default:
+			s.forward(w, r, cs.members[owner])
+		}
+	}
+}
+
+// forward proxies the request to a peer, tagging it against loops. The
+// body was already bounded by MaxBytesReader.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, m cluster.Member) {
+	cs := s.cluster
+	s.metrics.clusterProxied()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, m.PublicURL+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	out.Header = r.Header.Clone()
+	out.Header.Set(forwardedHeader, cs.cfg.Node)
+	resp, err := cs.httpc.Do(out)
+	if err != nil {
+		cs.mship.ReportFailure(m.Name)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("proxy to %s: %v", m.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// ---- replica promotion (failover) ----
+
+// adoptIfNeeded promotes a local replica into a live session when this
+// node just became a session's effective owner: the session is neither in
+// the pool nor in the store, but its replica directory is here. The
+// rename puts the replicated checkpoint + WAL under sessions/<id>, and
+// the ordinary lazy-rehydration path does the rest.
+func (s *Server) adoptIfNeeded(ctx context.Context, id string) error {
+	cs := s.cluster
+	if s.store.has(id) {
+		return nil
+	}
+	s.mu.Lock()
+	_, live := s.sessions[id]
+	s.mu.Unlock()
+	if live {
+		return nil
+	}
+	src := filepath.Join(cs.replRoot, id)
+	if _, err := os.Stat(src); err != nil {
+		return nil // no replica either; the handler 404s as usual
+	}
+	// Fence the replica handle first: a zombie replication stream from the
+	// presumed-dead primary must not append into the promoted session.
+	cs.closeReplica(id)
+	cs.mu.Lock()
+	// Re-check under the lock so two concurrent requests promote once.
+	if s.store.has(id) {
+		cs.mu.Unlock()
+		return nil
+	}
+	err := os.Rename(src, s.store.dir(id))
+	if err == nil {
+		s.store.markKnown(id)
+	}
+	cs.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // lost a race with another promoter or a Drop
+		}
+		return err
+	}
+	s.metrics.clusterPromotion()
+	mv := cluster.Moved{Session: id, Target: cs.cfg.Node, Seq: cs.nextMoveSeq(id)}
+	cs.setOverride(mv)
+	s.broadcastMoved(mv)
+	s.log(ctx).Warn("promoted replica to primary", "session_id", id)
+	return nil
+}
+
+// ---- route overrides ----
+
+// setOverride merges one explicit-transfer claim; highest Seq wins.
+// Returns whether the claim was news.
+func (cs *clusterState) setOverride(mv cluster.Moved) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cur, ok := cs.overrides[mv.Session]; ok && cur.Seq >= mv.Seq {
+		return false
+	}
+	cs.overrides[mv.Session] = mv
+	if mv.Seq > cs.moveSeq {
+		cs.moveSeq = mv.Seq
+	}
+	return true
+}
+
+func (cs *clusterState) snapshotOverrides() []cluster.Moved {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]cluster.Moved, 0, len(cs.overrides))
+	for _, mv := range cs.overrides {
+		out = append(out, mv)
+	}
+	return out
+}
+
+// nextMoveSeq mints a claim sequence number strictly above every claim
+// this node has seen, so competing claims from different nodes order by
+// recency of cluster knowledge.
+func (cs *clusterState) nextMoveSeq(id string) uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := cs.moveSeq + 1
+	if ov, ok := cs.overrides[id]; ok && ov.Seq >= n {
+		n = ov.Seq + 1
+	}
+	cs.moveSeq = n
+	return n
+}
+
+// broadcastMoved pushes one claim to every peer, best-effort: a down peer
+// converges later via ping piggyback.
+func (s *Server) broadcastMoved(mv cluster.Moved) {
+	cs := s.cluster
+	for name, m := range cs.members {
+		if name == cs.cfg.Node {
+			continue
+		}
+		go func(m cluster.Member) {
+			if err := cs.client.SendMoved(m, mv); err != nil {
+				cs.mship.ReportFailure(m.Name)
+			}
+		}(m)
+	}
+}
+
+// broadcastDrop asks every peer to discard its replica of a deleted
+// session.
+func (s *Server) broadcastDrop(id string) {
+	cs := s.cluster
+	if cs == nil {
+		return
+	}
+	for name, m := range cs.members {
+		if name == cs.cfg.Node {
+			continue
+		}
+		go func(m cluster.Member) { _ = cs.client.SendDrop(m, id) }(m)
+	}
+}
+
+// dropLocalSession discards this node's copy of a session whose ownership
+// moved elsewhere: pool entry, on-disk state, jobs. The bytes are stale —
+// the new owner's copy is the session.
+func (s *Server) dropLocalSession(id string) {
+	s.mu.Lock()
+	if sess, ok := s.sessions[id]; ok {
+		if sess.repl != nil {
+			sess.repl.Close()
+			sess.repl = nil
+		}
+		s.evictLocked(sess)
+	}
+	s.mu.Unlock()
+	if s.store.has(id) {
+		if err := s.store.remove(id); err != nil {
+			s.cfg.Logger.Error("dropping moved session", "session_id", id, "err", err)
+		}
+	}
+	s.jobs.dropSession(id)
+}
+
+// ---- replication (primary side) ----
+
+// replicate makes rec durable on the session's replica. A nil rec means
+// the record is already folded into the on-disk state (a checkpoint just
+// compacted it) and only a caught-up replica is required. Under ReplSync
+// a false return fails the request: the mutation is locally durable but
+// not replicated, and acking it would break the no-acked-loss contract.
+// Under ReplAsync failures are only counted. With every other member down
+// the node proceeds unreplicated — a lone survivor must not refuse all
+// writes. Caller holds the session slot.
+func (s *Server) replicate(ctx context.Context, sess *session, rec *wal.Record) bool {
+	cs := s.cluster
+	if cs == nil || cs.cfg.Replication == cluster.ReplOff || sess.dur == nil {
+		return true
+	}
+	if s.replicateRecord(ctx, sess, rec) || cs.cfg.Replication == cluster.ReplAsync {
+		return true
+	}
+	return false
+}
+
+// replicateRecord sends rec on the session's live replication stream,
+// attaching one (full state sync) when none exists, and re-targeting once
+// when the stream or the attach fails. An attach counts as delivery: the
+// state sync reads the local disk, which already holds rec.
+func (s *Server) replicateRecord(ctx context.Context, sess *session, rec *wal.Record) bool {
+	cs := s.cluster
+	failed := make(map[string]bool)
+	for attempt := 0; attempt < 2; attempt++ {
+		if sess.repl == nil {
+			target, ok := cs.replicaTarget(sess.id, failed)
+			if !ok {
+				s.metrics.clusterUnprotected()
+				s.log(ctx).Warn("no live replica target; proceeding unreplicated", "session_id", sess.id)
+				return true
+			}
+			st, err := s.diskState(sess)
+			if err != nil {
+				s.log(ctx).Error("reading session state for replication", "session_id", sess.id, "err", err)
+				return false
+			}
+			stream, err := cs.client.OpenReplStream(target, sess.id, st)
+			if err != nil {
+				failed[target.Name] = true
+				cs.mship.ReportFailure(target.Name)
+				s.metrics.clusterReplFailure()
+				s.log(ctx).Warn("replica attach failed", "session_id", sess.id, "target", target.Name, "err", err)
+				continue
+			}
+			sess.repl = stream
+			s.metrics.clusterReplStream()
+			s.metrics.clusterReplRecord()
+			return true
+		}
+		if rec == nil {
+			// The live stream already mirrored the state (checkpoint push
+			// succeeded before this call).
+			return true
+		}
+		if err := sess.repl.SendRecord(rec); err != nil {
+			name := sess.repl.Target.Name
+			failed[name] = true
+			cs.mship.ReportFailure(name)
+			s.metrics.clusterReplFailure()
+			s.log(ctx).Warn("replication send failed", "session_id", sess.id, "target", name, "err", err)
+			sess.repl.Close()
+			sess.repl = nil
+			continue
+		}
+		s.metrics.clusterReplRecord()
+		return true
+	}
+	return false
+}
+
+// replicateCheckpoint mirrors a freshly written checkpoint to the live
+// replica and truncates its log, keeping the replica as compact as the
+// primary. Best-effort: on failure the stream is dropped and the next
+// mutation re-attaches with a full state sync that includes this
+// checkpoint. Caller holds the session slot.
+func (s *Server) replicateCheckpoint(ctx context.Context, sess *session) {
+	cs := s.cluster
+	if cs == nil || sess.repl == nil || sess.dur == nil {
+		return
+	}
+	image, err := os.ReadFile(filepath.Join(sess.dur.dir, checkpointFile))
+	if err == nil {
+		err = sess.repl.SendCheckpoint(image)
+	}
+	if err == nil {
+		err = sess.repl.SendReset()
+	}
+	if err != nil {
+		s.metrics.clusterReplFailure()
+		s.log(ctx).Warn("checkpoint replication failed; stream dropped", "session_id", sess.id, "err", err)
+		sess.repl.Close()
+		sess.repl = nil
+	}
+}
+
+// diskState snapshots a session's transferable state from its on-disk
+// files: the checkpoint image plus every WAL record behind it. Caller
+// holds the session slot, so nothing appends concurrently; the open log
+// handle is unaffected by the read-only scan.
+func (s *Server) diskState(sess *session) (cluster.SessionState, error) {
+	var st cluster.SessionState
+	dir := sess.dur.dir
+	if b, err := os.ReadFile(filepath.Join(dir, checkpointFile)); err == nil {
+		st.Checkpoint = b
+	} else if !os.IsNotExist(err) {
+		return st, err
+	}
+	res, err := wal.ScanFile(filepath.Join(dir, walFile))
+	if err != nil {
+		return st, err
+	}
+	st.Tail = res.Records
+	return st, nil
+}
+
+// ---- replica store (follower side) ----
+
+// serverReplica implements cluster.Replica over a replica directory that
+// mirrors a session directory (wal.log + checkpoint), with the primary's
+// sequence numbers preserved — promotion is a rename plus the ordinary
+// recovery path.
+type serverReplica struct {
+	cs  *clusterState
+	s   *Server
+	id  string
+	dir string
+
+	mu     sync.Mutex
+	log    *wal.Log
+	closed bool
+}
+
+var errReplicaFenced = errors.New("replica fenced")
+
+func (r *serverReplica) AppendRecord(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errReplicaFenced
+	}
+	return r.log.AppendKeepSeq(rec)
+}
+
+func (r *serverReplica) PutCheckpoint(image []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errReplicaFenced
+	}
+	return writeFileSync(r.dir, checkpointFile, image)
+}
+
+func (r *serverReplica) Reset() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return errReplicaFenced
+	}
+	return r.log.Reset()
+}
+
+func (r *serverReplica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	err := r.log.Close()
+	r.mu.Unlock()
+	r.cs.unregisterReplica(r.id, r)
+	return err
+}
+
+func (cs *clusterState) registerReplica(id string, rep *serverReplica) {
+	cs.mu.Lock()
+	cs.replicas[id] = rep
+	cs.mu.Unlock()
+}
+
+func (cs *clusterState) unregisterReplica(id string, rep *serverReplica) {
+	cs.mu.Lock()
+	if cs.replicas[id] == rep {
+		delete(cs.replicas, id)
+	}
+	cs.mu.Unlock()
+}
+
+// closeReplica fences the open replica handle for id, if any: subsequent
+// stream appends fail rather than touching files a promotion or drop is
+// about to take.
+func (cs *clusterState) closeReplica(id string) {
+	cs.mu.Lock()
+	rep := cs.replicas[id]
+	cs.mu.Unlock()
+	if rep != nil {
+		rep.Close()
+	}
+}
+
+// replicaCount counts replica directories currently held.
+func (cs *clusterState) replicaCount() int {
+	entries, err := os.ReadDir(cs.replRoot)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// writeFileSync atomically replaces dir/name: temp file, fsync, rename,
+// fsync the directory — the same discipline as durable.checkpoint.
+func writeFileSync(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ---- peer protocol backend ----
+
+// clusterBackend implements cluster.Backend for the peer server.
+type clusterBackend struct{ s *Server }
+
+func (b *clusterBackend) OpenReplica(id string) (cluster.Replica, error) {
+	s := b.s
+	cs := s.cluster
+	// A new stream always starts with a full state sync: fence and discard
+	// whatever a previous stream left.
+	cs.closeReplica(id)
+	dir := filepath.Join(cs.replRoot, id)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l, _, err := wal.Open(filepath.Join(dir, walFile), s.store.walOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &serverReplica{cs: cs, s: s, id: id, dir: dir, log: l}
+	cs.registerReplica(id, rep)
+	return rep, nil
+}
+
+func (b *clusterBackend) InstallMigrated(id string, st cluster.SessionState) error {
+	s := b.s
+	cs := s.cluster
+	if s.store.has(id) {
+		return fmt.Errorf("session %s already exists on %s", id, cs.cfg.Node)
+	}
+	s.mu.Lock()
+	_, live := s.sessions[id]
+	s.mu.Unlock()
+	if live {
+		return fmt.Errorf("session %s is live on %s", id, cs.cfg.Node)
+	}
+	// This node may hold the session's replica (the migration target often
+	// is the replica holder); the stream is dead or dying, and the
+	// explicit transfer supersedes the replica.
+	cs.closeReplica(id)
+	_ = os.RemoveAll(filepath.Join(cs.replRoot, id))
+
+	dir := s.store.dir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	install := func() error {
+		if st.Checkpoint != nil {
+			if err := writeFileSync(dir, checkpointFile, st.Checkpoint); err != nil {
+				return err
+			}
+		}
+		l, _, err := wal.Open(filepath.Join(dir, walFile), s.store.walOpts)
+		if err != nil {
+			return err
+		}
+		for i := range st.Tail {
+			if err := l.AppendKeepSeq(&st.Tail[i]); err != nil {
+				l.Close()
+				return err
+			}
+		}
+		if err := l.Close(); err != nil { // Close fsyncs buffered appends
+			return err
+		}
+		return syncDir(dir)
+	}
+	if err := install(); err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	s.store.markKnown(id)
+	s.metrics.clusterMigratedIn()
+	return nil
+}
+
+func (b *clusterBackend) HandleMoved(mv cluster.Moved) {
+	cs := b.s.cluster
+	if !cs.setOverride(mv) {
+		return // stale claim
+	}
+	if mv.Target != cs.cfg.Node {
+		// Ownership went elsewhere; any local copy is stale.
+		b.s.dropLocalSession(mv.Session)
+	}
+}
+
+func (b *clusterBackend) HandlePing(p cluster.Ping) {
+	for _, mv := range p.Overrides {
+		b.HandleMoved(mv)
+	}
+	// Seeing a peer's ping is itself evidence it is up.
+	b.s.cluster.mship.ReportSuccess(p.Node)
+}
+
+func (b *clusterBackend) DropReplica(id string) error {
+	cs := b.s.cluster
+	cs.closeReplica(id)
+	return os.RemoveAll(filepath.Join(cs.replRoot, id))
+}
+
+// ---- live migration ----
+
+// migrateSession moves one session to target: checkpoint (compacting the
+// transferable state), stream checkpoint + WAL tail with the session slot
+// held (mutations block for exactly the transfer), cut over on the
+// target's install ack, then drop the local copy and broadcast the new
+// route. On any pre-cutover error the session stays here, untouched.
+func (s *Server) migrateSession(ctx context.Context, id string, target cluster.Member) error {
+	cs := s.cluster
+	sess, err := s.sessionByID(ctx, id)
+	if err != nil {
+		return err
+	}
+	if err := sess.acquire(ctx); err != nil {
+		return fmt.Errorf("waiting for the session: %w", err)
+	}
+	defer sess.release()
+	if sess.closed.Load() {
+		return errors.New("session was evicted while the move waited; retry")
+	}
+	if sess.dur == nil {
+		return errors.New("session has no durable state to migrate")
+	}
+	t0 := time.Now()
+	_ = s.checkpointSession(ctx, sess) // failure just means a longer WAL tail
+	st, err := s.diskState(sess)
+	if err != nil {
+		return err
+	}
+	if err := cs.client.Migrate(target, id, st); err != nil {
+		cs.mship.ReportFailure(target.Name)
+		return err
+	}
+
+	// Cutover: the target owns the session from here on.
+	mv := cluster.Moved{Session: id, Target: target.Name, Seq: cs.nextMoveSeq(id)}
+	cs.setOverride(mv)
+	var oldReplica string
+	if sess.repl != nil {
+		oldReplica = sess.repl.Target.Name
+		sess.repl.Close()
+		sess.repl = nil
+	}
+	s.mu.Lock()
+	if cur, ok := s.sessions[id]; ok {
+		s.evictLocked(cur)
+	}
+	s.mu.Unlock()
+	if err := s.store.remove(id); err != nil {
+		s.log(ctx).Error("removing migrated session's files", "session_id", id, "err", err)
+	}
+	s.jobs.dropSession(id)
+	s.broadcastMoved(mv)
+	if oldReplica != "" && oldReplica != target.Name {
+		if m, ok := cs.members[oldReplica]; ok {
+			go func() { _ = cs.client.SendDrop(m, id) }()
+		}
+	}
+	s.metrics.clusterMigratedOut()
+	s.log(ctx).Info("session migrated out",
+		"session_id", id, "target", target.Name,
+		"checkpoint_bytes", len(st.Checkpoint), "tail_records", len(st.Tail),
+		"duration_ms", time.Since(t0).Milliseconds())
+	return nil
+}
+
+// ---- HTTP handlers ----
+
+// clusterRoute is the ?session= route answer on GET /cluster.
+type clusterRoute struct {
+	Session    string   `json:"session"`
+	Owner      string   `json:"owner"`
+	Candidates []string `json:"candidates"`
+	Overridden bool     `json:"overridden"`
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	if cs == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	resp := map[string]any{
+		"node":        cs.cfg.Node,
+		"replication": cs.cfg.Replication,
+		"redirect":    cs.cfg.Redirect,
+		"members":     cs.mship.Snapshot(),
+		"overrides":   cs.snapshotOverrides(),
+		"replicas":    cs.replicaCount(),
+	}
+	if id := r.URL.Query().Get("session"); id != "" {
+		cs.mu.Lock()
+		_, overridden := cs.overrides[id]
+		cs.mu.Unlock()
+		resp["route"] = clusterRoute{
+			Session:    id,
+			Owner:      cs.effectiveOwner(id),
+			Candidates: cs.candidates(id),
+			Overridden: overridden,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClusterMove(w http.ResponseWriter, r *http.Request) {
+	cs := s.cluster
+	if cs == nil {
+		writeError(w, http.StatusNotFound, "not running in cluster mode")
+		return
+	}
+	var req struct {
+		Session string `json:"session"`
+		Target  string `json:"target"`
+	}
+	// Buffer the body: a non-owner re-sends this request to the owner.
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Session == "" || req.Target == "" {
+		writeError(w, http.StatusBadRequest, "session and target are required")
+		return
+	}
+	target, ok := cs.members[req.Target]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown member %q", req.Target))
+		return
+	}
+	owner := cs.effectiveOwner(req.Session)
+	switch {
+	case owner == "":
+		writeError(w, http.StatusServiceUnavailable, "no live owner for the session")
+		return
+	case owner != cs.cfg.Node && r.Header.Get(forwardedHeader) == "":
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+		s.forward(w, r, cs.members[owner]) // the owner executes the move
+		return
+	case owner != cs.cfg.Node:
+		writeError(w, http.StatusServiceUnavailable, "routing disagreement; retry")
+		return
+	}
+	if target.Name == cs.cfg.Node {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"moved": false, "session": req.Session, "target": target.Name,
+			"note": "session is already on this node",
+		})
+		return
+	}
+	if !cs.mship.Up(target.Name) {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("target %s is down", target.Name))
+		return
+	}
+	if err := s.migrateSession(r.Context(), req.Session, target); err != nil {
+		status := http.StatusInternalServerError
+		s.mu.Lock()
+		_, live := s.sessions[req.Session]
+		s.mu.Unlock()
+		if !live && !s.store.has(req.Session) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moved": true, "session": req.Session, "target": target.Name,
+	})
+}

@@ -64,6 +64,18 @@ type collector struct {
 	recoveryFailures   uint64
 	walTruncations     uint64
 	walTruncatedBytes  uint64
+
+	// Cluster counters; clusterNode gates the payload section.
+	clusterNode     string
+	proxied         uint64 // requests proxied to their owning node
+	redirected      uint64 // requests answered with a 307 to the owner
+	replStreams     uint64 // replication streams attached (incl. re-attaches)
+	replRecords     uint64 // WAL records acknowledged by a replica
+	replFailures    uint64 // replication sends/attaches that failed
+	replUnprotected uint64 // mutations acked with no live replica target
+	migrationsIn    uint64
+	migrationsOut   uint64
+	promotions      uint64 // replicas promoted to primary (failovers)
 }
 
 // metricsWindow is the default number of cycle records retained for
@@ -218,6 +230,23 @@ func (c *collector) checkpointDone(d time.Duration, err error) {
 func (c *collector) sessionRehydrated() { c.bump(&c.sessionsRehydrated) }
 func (c *collector) recoveryFailed()    { c.bump(&c.recoveryFailures) }
 
+// Cluster observations.
+func (c *collector) enableCluster(node string) {
+	c.mu.Lock()
+	c.clusterNode = node
+	c.mu.Unlock()
+}
+
+func (c *collector) clusterProxied()     { c.bump(&c.proxied) }
+func (c *collector) clusterRedirected()  { c.bump(&c.redirected) }
+func (c *collector) clusterReplStream()  { c.bump(&c.replStreams) }
+func (c *collector) clusterReplRecord()  { c.bump(&c.replRecords) }
+func (c *collector) clusterReplFailure() { c.bump(&c.replFailures) }
+func (c *collector) clusterUnprotected() { c.bump(&c.replUnprotected) }
+func (c *collector) clusterMigratedIn()  { c.bump(&c.migrationsIn) }
+func (c *collector) clusterMigratedOut() { c.bump(&c.migrationsOut) }
+func (c *collector) clusterPromotion()   { c.bump(&c.promotions) }
+
 func (c *collector) walTruncated(n int64) {
 	c.mu.Lock()
 	c.walTruncations++
@@ -251,6 +280,31 @@ type durabilityPayload struct {
 	RecoveryFailures  uint64   `json:"recovery_failures"`
 	WALTruncations    uint64   `json:"wal_tail_truncations"`
 	WALTruncatedBytes uint64   `json:"wal_tail_truncated_bytes"`
+}
+
+// clusterPayload is the /metrics cluster section, present only when the
+// node runs in cluster mode.
+type clusterPayload struct {
+	Node            string `json:"node"`
+	MembersTotal    int    `json:"members_total"`
+	MembersUp       int    `json:"members_up"`
+	Proxied         uint64 `json:"proxied_requests"`
+	Redirected      uint64 `json:"redirected_requests"`
+	ReplStreams     uint64 `json:"repl_streams_opened"`
+	ReplRecords     uint64 `json:"repl_records_sent"`
+	ReplFailures    uint64 `json:"repl_send_failures"`
+	ReplUnprotected uint64 `json:"repl_unprotected_mutations"`
+	ReplicaSessions int    `json:"replica_sessions"`
+	MigrationsIn    uint64 `json:"migrations_in"`
+	MigrationsOut   uint64 `json:"migrations_out"`
+	Promotions      uint64 `json:"promotions"`
+	RouteOverrides  int    `json:"route_overrides"`
+}
+
+// clusterSample carries the point-in-time cluster gauges the caller reads
+// under the cluster state's own locks.
+type clusterSample struct {
+	membersTotal, membersUp, replicaSessions, routeOverrides int
 }
 
 // metricsPayload is the /metrics response body.
@@ -308,11 +362,13 @@ type metricsPayload struct {
 		RulesDropped uint64              `json:"rules_dropped,omitempty"`
 	} `json:"engine"`
 	Durability *durabilityPayload `json:"durability,omitempty"`
+	Cluster    *clusterPayload    `json:"cluster,omitempty"`
 }
 
-// snapshot renders the aggregate. live, active, onDisk, queued, inflight
-// and jobsActive are sampled by the caller under the relevant mutexes.
-func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued, inflight, jobsActive int) metricsPayload {
+// snapshot renders the aggregate. live, active, onDisk, queued, inflight,
+// jobsActive and cl are sampled by the caller under the relevant mutexes;
+// cl is nil outside cluster mode.
+func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued, inflight, jobsActive int, cl *clusterSample) metricsPayload {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var p metricsPayload
@@ -390,6 +446,24 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued,
 			RecoveryFailures:  c.recoveryFailures,
 			WALTruncations:    c.walTruncations,
 			WALTruncatedBytes: c.walTruncatedBytes,
+		}
+	}
+	if c.clusterNode != "" && cl != nil {
+		p.Cluster = &clusterPayload{
+			Node:            c.clusterNode,
+			MembersTotal:    cl.membersTotal,
+			MembersUp:       cl.membersUp,
+			Proxied:         c.proxied,
+			Redirected:      c.redirected,
+			ReplStreams:     c.replStreams,
+			ReplRecords:     c.replRecords,
+			ReplFailures:    c.replFailures,
+			ReplUnprotected: c.replUnprotected,
+			ReplicaSessions: cl.replicaSessions,
+			MigrationsIn:    c.migrationsIn,
+			MigrationsOut:   c.migrationsOut,
+			Promotions:      c.promotions,
+			RouteOverrides:  cl.routeOverrides,
 		}
 	}
 	return p

@@ -217,12 +217,12 @@ func TestCollectorConcurrentAccess(t *testing.T) {
 	worker(func() {
 		c.observeRules([]match.RuleProfile{{Rule: "r1", MatchNS: 10, Fires: 1}, {Rule: "r2", Tokens: 3}})
 	})
-	worker(func() { c.snapshot(time.Second, 1, 0, 0, 0, 0, 0) })
+	worker(func() { c.snapshot(time.Second, 1, 0, 0, 0, 0, 0, nil) })
 	worker(func() { c.sessionEvicted(); c.sessionCreated() })
 	time.Sleep(50 * time.Millisecond)
 	close(stop)
 	wg.Wait()
-	p := c.snapshot(time.Second, 0, 0, 0, 0, 0, 0)
+	p := c.snapshot(time.Second, 0, 0, 0, 0, 0, 0, nil)
 	if p.Engine.Cycles == 0 || len(p.Engine.Rules) != 2 {
 		t.Fatalf("collector lost data: cycles=%d rules=%+v", p.Engine.Cycles, p.Engine.Rules)
 	}

@@ -150,4 +150,20 @@ func writePrometheus(w io.Writer, m metricsPayload) {
 		p.counter("parulel_recovery_failures_total", "Session recoveries that failed.", float64(d.RecoveryFailures))
 		p.counter("parulel_wal_tail_truncations_total", "Torn WAL tails dropped during recovery.", float64(d.WALTruncations))
 	}
+
+	if c := m.Cluster; c != nil {
+		p.gauge("parulel_cluster_members", "Configured cluster members.", float64(c.MembersTotal))
+		p.gauge("parulel_cluster_members_up", "Cluster members currently considered up.", float64(c.MembersUp))
+		p.counter("parulel_cluster_proxied_requests_total", "Session requests proxied to their owner node.", float64(c.Proxied))
+		p.counter("parulel_cluster_redirected_requests_total", "Session requests answered with a 307 to their owner node.", float64(c.Redirected))
+		p.counter("parulel_cluster_repl_streams_opened_total", "Replication streams opened to follower nodes.", float64(c.ReplStreams))
+		p.counter("parulel_cluster_repl_records_sent_total", "WAL records streamed to followers.", float64(c.ReplRecords))
+		p.counter("parulel_cluster_repl_send_failures_total", "Replication sends that failed and forced a stream reset.", float64(c.ReplFailures))
+		p.counter("parulel_cluster_repl_unprotected_mutations_total", "Mutations acked without a live replica (no follower reachable).", float64(c.ReplUnprotected))
+		p.gauge("parulel_cluster_replica_sessions", "Follower session replicas currently held on this node.", float64(c.ReplicaSessions))
+		p.counter("parulel_cluster_migrations_in_total", "Sessions migrated onto this node.", float64(c.MigrationsIn))
+		p.counter("parulel_cluster_migrations_out_total", "Sessions migrated off this node.", float64(c.MigrationsOut))
+		p.counter("parulel_cluster_promotions_total", "Replica sessions promoted to primary after owner failure.", float64(c.Promotions))
+		p.gauge("parulel_cluster_route_overrides", "Session route overrides currently active.", float64(c.RouteOverrides))
+	}
 }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parulel/internal/cluster"
 	"parulel/internal/compile"
 	"parulel/internal/core"
 	"parulel/internal/programs"
@@ -99,6 +100,12 @@ type Config struct {
 	// TraceCycles bounds each session's in-memory cycle-trace ring served
 	// at GET /api/v1/sessions/{id}/trace. Default 512.
 	TraceCycles int
+	// Cluster, when non-nil, joins this node to a static cluster: the
+	// consistent-hash ring shards the session-id keyspace across members,
+	// non-owned requests are proxied or redirected, each session's WAL
+	// streams to a follower, and sessions migrate on POST /cluster/move.
+	// Requires DataDir. See internal/cluster and docs/SERVER.md.
+	Cluster *cluster.Config
 	// Logger receives structured log records (one per notable event plus a
 	// per-request access line); nil means discard.
 	Logger *slog.Logger
@@ -167,7 +174,8 @@ type Server struct {
 	jobs     *jobRegistry
 	metrics  *collector
 	start    time.Time
-	store    *store // nil when durability is disabled
+	store    *store        // nil when durability is disabled
+	cluster  *clusterState // nil when not in cluster mode
 
 	reqID atomic.Uint64 // monotonically increasing request ids
 
@@ -219,6 +227,11 @@ func New(cfg Config) (*Server, error) {
 		s.metrics.enableDurability(st.count())
 		if n := st.count(); n > 0 {
 			cfg.Logger.Info("durability: recoverable sessions found", "count", n, "data_dir", cfg.DataDir)
+		}
+	}
+	if cfg.Cluster != nil {
+		if err := s.startCluster(*cfg.Cluster); err != nil {
+			return nil, err
 		}
 	}
 	s.routes()
@@ -280,22 +293,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /cluster/move", s.handleClusterMove)
 	s.mux.HandleFunc("GET /api/v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /api/v1/sessions", s.handleListSessions)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGetSession)
-	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/facts", s.handleAssert)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.handleRetract)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.handleRun)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs/{job}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/jobs/{job}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.handleWM)
-	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.handleSnapshotExport)
-	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.handleSnapshotImport)
+	// Session-scoped routes pass the cluster ownership check first: a
+	// non-owner proxies or redirects to the owner (no-op single-node).
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.routed(s.handleGetSession))
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.routed(s.handleDeleteSession))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/facts", s.routed(s.handleAssert))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.routed(s.handleRetract))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.routed(s.handleRun))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/batch", s.routed(s.handleBatch))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs", s.routed(s.handleJobList))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs/{job}", s.routed(s.handleJobGet))
+	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/jobs/{job}", s.routed(s.handleJobCancel))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.routed(s.handleTrace))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.routed(s.handleWM))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.routed(s.handleSnapshotExport))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.routed(s.handleSnapshotImport))
 }
 
 // Close drains the server: new runs are rejected, live async jobs are
@@ -316,9 +333,11 @@ func (s *Server) Close(ctx context.Context) error {
 	select {
 	case <-s.idle:
 		s.closeLogs()
+		s.stopCluster()
 		return nil
 	case <-ctx.Done():
 		s.closeLogs()
+		s.stopCluster()
 		return fmt.Errorf("server: drain interrupted with runs in flight: %w", ctx.Err())
 	}
 }
@@ -329,6 +348,10 @@ func (s *Server) closeLogs() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, sess := range s.sessions {
+		if sess.repl != nil {
+			sess.repl.Close()
+			sess.repl = nil
+		}
 		if sess.dur != nil {
 			if err := sess.dur.close(); err != nil {
 				s.cfg.Logger.Error("closing wal", "session_id", sess.id, "err", err)
@@ -383,6 +406,10 @@ func (s *Server) evictLocked(sess *session) {
 	delete(s.sessions, sess.id)
 	s.lru.Remove(sess.elem)
 	sess.elem = nil
+	if sess.repl != nil {
+		sess.repl.Close()
+		sess.repl = nil
+	}
 	if sess.dur != nil {
 		if err := sess.dur.close(); err != nil {
 			s.cfg.Logger.Error("closing wal", "session_id", sess.id, "err", err)
@@ -536,7 +563,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		onDisk = s.store.count()
 	}
 	queued, inflight := s.runQueue.stats()
-	p := s.metrics.snapshot(time.Since(s.start), live, active, onDisk, queued, inflight, s.jobs.activeCount())
+	var cl *clusterSample
+	if cs := s.cluster; cs != nil {
+		cs.mu.Lock()
+		overrides := len(cs.overrides)
+		cs.mu.Unlock()
+		cl = &clusterSample{
+			membersTotal:    len(cs.members),
+			membersUp:       cs.mship.UpCount(),
+			replicaSessions: cs.replicaCount(),
+			routeOverrides:  overrides,
+		}
+	}
+	p := s.metrics.snapshot(time.Since(s.start), live, active, onDisk, queued, inflight, s.jobs.activeCount(), cl)
 	w.Header().Set("Cache-Control", "no-cache")
 	if format == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -624,8 +663,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	s.nextID++
-	id := "s" + strconv.FormatUint(s.nextID, 10)
+	var id string
+	if cs := s.cluster; cs != nil {
+		// Mint ids this node owns by hash, so freshly created sessions are
+		// served where they were created; the node name makes ids unique
+		// across the cluster. Roughly 1/len(members) of candidates land on
+		// self, so the loop is short.
+		for {
+			s.nextID++
+			id = fmt.Sprintf("s-%s-%d", cs.cfg.Node, s.nextID)
+			if cs.ring.Owner(id) == cs.cfg.Node {
+				break
+			}
+		}
+	} else {
+		s.nextID++
+		id = "s" + strconv.FormatUint(s.nextID, 10)
+	}
 	s.mu.Unlock()
 
 	sess, err := newSession(id, name, prog, workers, req.Matcher, maxCycles, s.cfg.MaxOutputBytes, s.cfg.TraceCycles, time.Now(), false)
@@ -716,6 +770,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobs.dropSession(id)
+	s.broadcastDrop(id) // peers discard their replica of the session
 	s.metrics.sessionDeleted()
 	s.log(r.Context()).Info("session deleted", "session_id", id)
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})

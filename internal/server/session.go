@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parulel/internal/cluster"
 	"parulel/internal/compile"
 	"parulel/internal/core"
 	"parulel/internal/match"
@@ -35,6 +36,14 @@ type session struct {
 	// dur is the session's durability handle; nil when the server runs
 	// without a data directory.
 	dur *durable
+
+	// repl is the live replication stream to this session's follower; nil
+	// when not in cluster mode, replication is off, or no stream is
+	// attached (it attaches lazily on the next mutation). Guarded by the
+	// session slot, except that eviction and drop paths may Close it —
+	// net.Conn.Close is safe against a concurrent send, which then fails
+	// and detaches.
+	repl *cluster.ReplStream
 
 	// slot serializes engine use; closed marks an evicted/expired/deleted
 	// session (checked after acquiring slot, since a waiter may win the

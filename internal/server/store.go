@@ -68,7 +68,13 @@ func openStore(dataDir string, walOpts wal.Options) (*store, uint64, error) {
 		}
 		id := e.Name()
 		st.known[id] = true
-		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > maxID {
+		// Ids are "s<n>" single-node or "s-<node>-<n>" in cluster mode;
+		// either way the counter is the trailing number.
+		num := strings.TrimPrefix(id, "s")
+		if i := strings.LastIndex(num, "-"); i >= 0 {
+			num = num[i+1:]
+		}
+		if n, err := strconv.ParseUint(num, 10, 64); err == nil && n > maxID {
 			maxID = n
 		}
 	}
@@ -265,6 +271,9 @@ func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 	for _, jobID := range s.jobs.activeFor(sess.id) {
 		s.appendJobMarker(ctx, sess, jobID, jobQueued)
 	}
+	// Mirror the compaction to the session's replica so it stays as small
+	// as the primary (best-effort; a dropped stream re-syncs lazily).
+	s.replicateCheckpoint(ctx, sess)
 	return nil
 }
 
@@ -280,10 +289,13 @@ func (s *Server) persist(ctx context.Context, sess *session, rec *wal.Record) bo
 	}
 	err := d.append(rec)
 	if err == nil {
-		if d.due(s.cfg.CheckpointEvery) {
-			_ = s.checkpointSession(ctx, sess) // failure retains the log; nothing is lost
+		if d.due(s.cfg.CheckpointEvery) && s.checkpointSession(ctx, sess) == nil {
+			// The checkpoint compacted rec into the state image and mirrored
+			// it to a live replica stream; a nil record just makes sure some
+			// replica holds that state (re-attaching if the mirror dropped).
+			return s.replicate(ctx, sess, nil)
 		}
-		return true
+		return s.replicate(ctx, sess, rec)
 	}
 	s.log(ctx).Error("wal append failed", "session_id", sess.id, "err", err)
 	if cerr := s.checkpointSession(ctx, sess); cerr != nil {
@@ -291,7 +303,7 @@ func (s *Server) persist(ctx context.Context, sess *session, rec *wal.Record) bo
 		s.log(ctx).Error("durability disabled (append and checkpoint both failed)", "session_id", sess.id)
 		return false
 	}
-	return true
+	return s.replicate(ctx, sess, nil) // the checkpoint supersedes the record
 }
 
 // rehydrate rebuilds session id from its on-disk state and inserts it

@@ -218,6 +218,74 @@ func (l *Log) Append(rec *Record) error {
 	return nil
 }
 
+// AppendKeepSeq writes one record preserving the sequence number it
+// already carries instead of assigning the next local one. Replica logs
+// use it so a primary's records keep their numbering and a promoted
+// replica recovers exactly like a crashed primary. The sequence must
+// still be strictly increasing — a stale or duplicate record is
+// rejected rather than written, since scan would silently stop at it on
+// the next recovery.
+func (l *Log) AppendKeepSeq(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if rec.Seq <= l.seq {
+		return fmt.Errorf("wal: out-of-order append: seq %d after %d", rec.Seq, l.seq)
+	}
+	l.seq = rec.Seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encoding record: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.OnAppend != nil {
+		l.opts.OnAppend(len(frame))
+	}
+	if l.opts.Policy == PolicyAlways {
+		return l.syncLocked()
+	}
+	l.dirty = true
+	return nil
+}
+
+// ScanFile reads the valid record prefix of the log at path without
+// opening it for writing or truncating a torn tail. A missing file is an
+// empty log. The session-migration path uses it to snapshot the WAL tail
+// of a live session whose Log handle stays open.
+func ScanFile(path string) (ScanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ScanResult{}, nil
+		}
+		return ScanResult{}, err
+	}
+	defer f.Close()
+	res, _, _, err := scan(f)
+	return res, err
+}
+
+// TailAfter filters recs down to those with sequence numbers beyond seq.
+// Recovery and state transfer both pair a checkpoint (covering
+// everything up to its header's Seq) with the WAL records behind it.
+func TailAfter(recs []Record, seq uint64) []Record {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if r.Seq > seq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Seq returns the last sequence number assigned (or recovered).
 func (l *Log) Seq() uint64 {
 	l.mu.Lock()

@@ -308,6 +308,85 @@ func TestFsyncPoliciesAndCallbacks(t *testing.T) {
 	}
 }
 
+func TestAppendKeepSeqPreservesNumbering(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	// A replica receives records numbered by the primary, with gaps where
+	// the primary checkpointed.
+	for _, seq := range []uint64{3, 4, 9} {
+		rec := Record{Op: OpRun, Cycles: int(seq), Seq: seq}
+		if err := l.AppendKeepSeq(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stale and duplicate sequence numbers are rejected, not written.
+	for _, seq := range []uint64{9, 2} {
+		if err := l.AppendKeepSeq(&Record{Op: OpRun, Seq: seq}); err == nil {
+			t.Fatalf("seq %d after 9 should be rejected", seq)
+		}
+	}
+	// Local numbering continues after the preserved sequence point.
+	rec := Record{Op: OpRun}
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 10 {
+		t.Fatalf("append after keep-seq assigned %d, want 10", rec.Seq)
+	}
+	l.Close()
+	_, res, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint64, 0, len(res.Records))
+	for _, r := range res.Records {
+		got = append(got, r.Seq)
+	}
+	if !reflect.DeepEqual(got, []uint64{3, 4, 9, 10}) {
+		t.Fatalf("replayed seqs = %v", got)
+	}
+}
+
+func TestScanFileLeavesLogUntouched(t *testing.T) {
+	l, path := openTemp(t, Options{Policy: PolicyAlways})
+	want := sampleRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scan while the log is still open for appending.
+	res, err := ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Records, want) {
+		t.Fatalf("scan mismatch:\ngot  %+v\nwant %+v", res.Records, want)
+	}
+	// The open log keeps working after the read-only scan.
+	extra := Record{Op: OpRun, Cycles: 99}
+	if err := l.Append(&extra); err != nil {
+		t.Fatal(err)
+	}
+	// A missing file is an empty log, not an error.
+	res, err = ScanFile(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || len(res.Records) != 0 {
+		t.Fatalf("missing file: res=%+v err=%v", res, err)
+	}
+}
+
+func TestTailAfter(t *testing.T) {
+	recs := []Record{{Seq: 1}, {Seq: 5}, {Seq: 6}}
+	if got := TailAfter(recs, 5); len(got) != 1 || got[0].Seq != 6 {
+		t.Fatalf("TailAfter(5) = %+v", got)
+	}
+	if got := TailAfter(recs, 0); len(got) != 3 {
+		t.Fatalf("TailAfter(0) = %+v", got)
+	}
+	if got := TailAfter(recs, 6); len(got) != 0 {
+		t.Fatalf("TailAfter(6) = %+v", got)
+	}
+}
+
 func TestAppendAfterCloseFails(t *testing.T) {
 	l, _ := openTemp(t, Options{})
 	l.Close()
