@@ -1,12 +1,15 @@
 // Command parbench regenerates the reconstructed evaluation: every table
-// and figure indexed in DESIGN.md §3 (E1–E11). See EXPERIMENTS.md for the
-// recorded outputs and the paper-shape commentary.
+// and figure indexed in DESIGN.md §3 (E1–E11, E13). See EXPERIMENTS.md
+// for the recorded outputs and the paper-shape commentary.
 //
 //	parbench                  run all experiments at full size
 //	parbench -exp e2,e5       run selected experiments
 //	parbench -quick           small sizes (seconds, for smoke tests)
 //	parbench -json            machine-readable suite run → BENCH_results.json
 //	parbench -json -out f     …written to f instead ("-" for stdout)
+//	parbench -eval interp     run the suite on the tree-walking backend
+//	parbench -evalbench       E13 eval-mode ablation (bytecode VM vs interp)
+//	parbench -evalbench -json …merged into the -out document under "eval"
 //	parbench -serve           single-op vs batched ingest against an in-process server
 //	parbench -serve -json     …merged into the -out document under "serve"
 //	parbench -cluster         1-node vs 3-node aggregate ingest (in-process cluster)
@@ -27,12 +30,15 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"parulel"
 	"parulel/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11, e13) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	evalFlag := flag.String("eval", "bytecode", "expression backend for the -json suite run: bytecode, interp")
+	evalBench := flag.Bool("evalbench", false, "run the E13 eval-mode ablation (bytecode VM vs tree walker) instead of the experiment tables")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
 	serve := flag.Bool("serve", false, "benchmark server-level ingest (single-op vs batched) against an in-process paruleld")
 	clusterBench := flag.Bool("cluster", false, "benchmark 1-node vs 3-node aggregate ingest against an in-process cluster")
@@ -72,6 +78,33 @@ func main() {
 				fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
 			}
 		}()
+	}
+
+	evalMode, err := parulel.ParseEvalMode(*evalFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *evalBench {
+		doc, err := bench.RunEvalAblation(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: evalbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.MergeEvalJSON(*out, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: evalbench: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "-" && len(doc.Results) > 0 {
+				fmt.Fprintf(os.Stderr, "parbench: merged eval results into %s (eval speedup %.2fx on %s, %d CPU)\n",
+					*out, doc.Results[0].EvalSpeedup, doc.Results[0].Workload, doc.NumCPU)
+			}
+		} else {
+			bench.WriteEvalTable(os.Stdout, doc)
+		}
+		return
 	}
 
 	if *serve {
@@ -131,7 +164,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		doc, err := bench.RunJSON(*quick)
+		doc, err := bench.RunJSON(*quick, evalMode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
 			os.Exit(1)
@@ -163,7 +196,7 @@ func main() {
 	for i, id := range ids {
 		run, ok := bench.Experiments[strings.TrimSpace(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e11)\n", id)
+			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e11 or e13)\n", id)
 			os.Exit(2)
 		}
 		if i > 0 {

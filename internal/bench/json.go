@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"parulel/internal/compile"
 	"parulel/internal/core"
 	"parulel/internal/match"
 	"parulel/internal/match/rete"
@@ -75,6 +76,7 @@ type JSONDoc struct {
 	GOARCH      string       `json:"goarch"`
 	NumCPU      int          `json:"num_cpu"`
 	Quick       bool         `json:"quick"`
+	EvalMode    string       `json:"eval_mode"` // expression backend the suite ran with
 	Results     []JSONResult `json:"results"`
 }
 
@@ -82,17 +84,18 @@ type JSONDoc struct {
 // worker-scaling axis on RETE plus a TREAT point, mirroring E2/E4.
 var jsonConfigs = []struct {
 	matcher string
-	factory match.Factory
+	factory func(mode compile.EvalMode) match.Factory
 	workers int
 }{
-	{"rete", rete.New, 1},
-	{"rete", rete.New, 2},
-	{"rete", rete.New, 4},
-	{"treat", treat.New, 4},
+	{"rete", func(m compile.EvalMode) match.Factory { return rete.Factory(rete.Options{EvalMode: m}) }, 1},
+	{"rete", func(m compile.EvalMode) match.Factory { return rete.Factory(rete.Options{EvalMode: m}) }, 2},
+	{"rete", func(m compile.EvalMode) match.Factory { return rete.Factory(rete.Options{EvalMode: m}) }, 4},
+	{"treat", func(m compile.EvalMode) match.Factory { return treat.Factory(treat.Options{EvalMode: m}) }, 4},
 }
 
-// RunJSON measures the standard workload suite and returns the document.
-func RunJSON(quick bool) (*JSONDoc, error) {
+// RunJSON measures the standard workload suite under the given expression
+// backend and returns the document.
+func RunJSON(quick bool, mode compile.EvalMode) (*JSONDoc, error) {
 	doc := &JSONDoc{
 		Schema:      "parulel-bench/v1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -101,6 +104,7 @@ func RunJSON(quick bool) (*JSONDoc, error) {
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 		Quick:       quick,
+		EvalMode:    mode.String(),
 	}
 	for _, spec := range suite(quick) {
 		for _, cfg := range jsonConfigs {
@@ -113,8 +117,9 @@ func RunJSON(quick bool) (*JSONDoc, error) {
 				}
 				e := core.New(prog, core.Options{
 					Workers:   cfg.workers,
-					Matcher:   cfg.factory,
+					Matcher:   cfg.factory(mode),
 					MaxCycles: 1 << 20,
+					EvalMode:  mode,
 				})
 				if err := spec.load(e); err != nil {
 					return nil, err

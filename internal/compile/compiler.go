@@ -72,6 +72,7 @@ func Compile(src *lang.Program) (*Program, error) {
 		m.Index = len(p.MetaRules)
 		p.MetaRules = append(p.MetaRules, m)
 	}
+	lowerProgram(p)
 	return p, nil
 }
 

@@ -75,6 +75,12 @@ type Expr struct {
 	Pat     int
 	Pat2    int
 	MetaVar VarRef
+
+	// code is the lowered bytecode for this expression when it is a root
+	// (a filter, action expression or meta test), attached once by
+	// lowerProgram at the end of Compile. nil means "not lowered":
+	// EvalMode.Eval then falls back to the tree walker.
+	code *code
 }
 
 // Env supplies variable values during expression evaluation. Object-rule

@@ -3,7 +3,9 @@ package core_test
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"parulel/internal/compile"
 	"parulel/internal/core"
@@ -15,30 +17,55 @@ import (
 	"parulel/internal/workload"
 )
 
-// matcherConfigs is the {RETE, TREAT} × {index on, index off} grid the
-// differential tests sweep. Results must be bit-identical across all
-// four: the hash-join indexes and the compact instantiation keys are
+// matcherConfigs is the {RETE, TREAT} × {index on, index off} ×
+// {bytecode, interp} grid the differential tests sweep. Results must be
+// bit-identical across all eight: the hash-join indexes, the compact
+// instantiation keys and the bytecode compilation of expressions are
 // pure optimizations.
 var matcherConfigs = []struct {
 	name    string
 	factory match.Factory
+	eval    compile.EvalMode
 }{
-	{"rete-indexed", rete.Factory(rete.Options{})},
-	{"rete-noindex", rete.Factory(rete.Options{DisableJoinIndex: true})},
-	{"treat-indexed", treat.Factory(treat.Options{})},
-	{"treat-noindex", treat.Factory(treat.Options{DisableJoinIndex: true})},
+	{"rete-indexed-bytecode", rete.Factory(rete.Options{}), compile.EvalBytecode},
+	{"rete-indexed-interp", rete.Factory(rete.Options{EvalMode: compile.EvalInterp}), compile.EvalInterp},
+	{"rete-noindex-bytecode", rete.Factory(rete.Options{DisableJoinIndex: true}), compile.EvalBytecode},
+	{"rete-noindex-interp", rete.Factory(rete.Options{DisableJoinIndex: true, EvalMode: compile.EvalInterp}), compile.EvalInterp},
+	{"treat-indexed-bytecode", treat.Factory(treat.Options{}), compile.EvalBytecode},
+	{"treat-indexed-interp", treat.Factory(treat.Options{EvalMode: compile.EvalInterp}), compile.EvalInterp},
+	{"treat-noindex-bytecode", treat.Factory(treat.Options{DisableJoinIndex: true}), compile.EvalBytecode},
+	{"treat-noindex-interp", treat.Factory(treat.Options{DisableJoinIndex: true, EvalMode: compile.EvalInterp}), compile.EvalInterp},
 }
+
+// firingTracer records the per-cycle rule-firing sequence (RuleFired
+// calls arrive in name order within each committed cycle, so identical
+// executions yield identical sequences).
+type firingTracer struct {
+	cycle  int
+	firing []string
+}
+
+func (f *firingTracer) CycleStart(n int)                   { f.cycle = n }
+func (f *firingTracer) PhaseEnd(core.Phase, time.Duration) {}
+func (f *firingTracer) InstantiationsFound(int, int)       {}
+func (f *firingTracer) Redacted(int, int, int)             {}
+func (f *firingTracer) RuleFired(rule string, count int) {
+	f.firing = append(f.firing, fmt.Sprintf("%d:%s:%d", f.cycle, rule, count))
+}
+func (f *firingTracer) Commit(int, int, bool) {}
 
 // outcome is everything an engine run must agree on across matchers.
 type outcome struct {
 	cycles, firings, redactions, conflicts int
 	halted                                 bool
 	wm                                     []string
+	firing                                 []string // "cycle:rule:count" sequence
 }
 
-func runOutcome(t *testing.T, prog *compile.Program, load func(workload.Inserter) error, f match.Factory) outcome {
+func runOutcome(t *testing.T, prog *compile.Program, load func(workload.Inserter) error, f match.Factory, mode compile.EvalMode) outcome {
 	t.Helper()
-	e := core.New(prog, core.Options{Workers: 2, MaxCycles: 1 << 20, Matcher: f})
+	tr := &firingTracer{}
+	e := core.New(prog, core.Options{Workers: 2, MaxCycles: 1 << 20, Matcher: f, EvalMode: mode, Tracer: tr})
 	if err := load(e); err != nil {
 		t.Fatal(err)
 	}
@@ -59,6 +86,7 @@ func runOutcome(t *testing.T, prog *compile.Program, load func(workload.Inserter
 		conflicts:  res.WriteConflicts,
 		halted:     res.Halted,
 		wm:         facts,
+		firing:     tr.firing,
 	}
 }
 
@@ -79,12 +107,20 @@ func diffOutcomes(t *testing.T, name string, want, got outcome) {
 			t.Fatalf("%s: final working memory differs at %d: %q vs %q", name, i, got.wm[i], want.wm[i])
 		}
 	}
+	if len(want.firing) != len(got.firing) {
+		t.Fatalf("%s: firing sequence length %d, want %d", name, len(got.firing), len(want.firing))
+	}
+	for i := range want.firing {
+		if want.firing[i] != got.firing[i] {
+			t.Fatalf("%s: firing sequence differs at %d: %q vs %q", name, i, got.firing[i], want.firing[i])
+		}
+	}
 }
 
 // TestMatcherDifferentialEmbeddedPrograms runs every embedded program to
-// quiescence under all four matcher configurations and requires identical
-// cycle counts, firings, redactions, write conflicts, halt status and
-// final working-memory contents.
+// quiescence under all eight configurations and requires identical cycle
+// counts, firings, redactions, write conflicts, halt status, final
+// working-memory contents and per-cycle firing sequences.
 func TestMatcherDifferentialEmbeddedPrograms(t *testing.T) {
 	cases := []struct {
 		prog string
@@ -109,23 +145,39 @@ func TestMatcherDifferentialEmbeddedPrograms(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			base := runOutcome(t, prog, tc.load, matcherConfigs[0].factory)
+			base := runOutcome(t, prog, tc.load, matcherConfigs[0].factory, matcherConfigs[0].eval)
 			for _, cfg := range matcherConfigs[1:] {
-				diffOutcomes(t, cfg.name, base, runOutcome(t, prog, tc.load, cfg.factory))
+				diffOutcomes(t, cfg.name, base, runOutcome(t, prog, tc.load, cfg.factory, cfg.eval))
 			}
 		})
 	}
 }
 
+// filteredJoinChain is the E4 join chain with a `(test …)` filter on
+// every element, so the matcher-direct sweep also exercises the eval
+// dimension of the grid (filters run per join candidate).
+func filteredJoinChain(depth int) string {
+	var b strings.Builder
+	b.WriteString("(literalize rec seg key val)\n")
+	b.WriteString("(literalize out key)\n")
+	b.WriteString("(rule deep\n")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "  (rec ^seg %d ^key <k> ^val <v%d>)\n", i, i)
+		fmt.Fprintf(&b, "  (test (>= (+ <v%d> <k>) 0))\n", i)
+	}
+	b.WriteString("-->\n  (make out ^key <k>))\n")
+	return b.String()
+}
+
 // TestMatcherDifferentialGeneratedJoinChains sweeps generated deep-join
-// workloads (the E4 shapes) through the same four-way grid. These chains
-// are where the beta index matters most, so a probe/scan disagreement
-// would surface here first.
+// workloads (the E4 shapes, with per-element filters) through the same
+// eight-way grid. These chains are where the beta index matters most, so
+// a probe/scan disagreement would surface here first.
 func TestMatcherDifferentialGeneratedJoinChains(t *testing.T) {
 	for _, depth := range []int{2, 4, 6} {
 		depth := depth
 		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
-			prog, err := compile.CompileSource(workload.JoinChainProgram(depth))
+			prog, err := compile.CompileSource(filteredJoinChain(depth))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -47,6 +47,34 @@ func (e *ruleEnv) MetaTag(int) int64          { panic("core: object rule RHS has
 func (e *ruleEnv) MetaRuleName(int) string    { panic("core: object rule RHS has no meta context") }
 func (e *ruleEnv) MetaPrecedes(int, int) bool { panic("core: object rule RHS has no meta context") }
 
+// fireFrame is the per-worker evaluation state reused across firings: the
+// binding environment, the locals buffer and the `(write …)` buffer are
+// constructed once per worker per fire phase and reset per firing, so the
+// inner action loop never rebuilds the environment (and, under the
+// bytecode backend, allocates nothing at all beyond the effects).
+type fireFrame struct {
+	env  ruleEnv
+	out  bytes.Buffer
+	mode compile.EvalMode
+}
+
+// reset points the frame at the next instantiation. Locals are cleared:
+// stale values from the previous firing must not leak into a rule that
+// reads a slot before binding it.
+func (f *fireFrame) reset(in *match.Instantiation) {
+	f.env.inst = in
+	n := in.Rule.NumLocals
+	if cap(f.env.locals) < n {
+		f.env.locals = make([]wm.Value, n)
+	} else {
+		f.env.locals = f.env.locals[:n]
+		for i := range f.env.locals {
+			f.env.locals[i] = wm.Value{}
+		}
+	}
+	f.out.Reset()
+}
+
 // fireAll evaluates every survivor's RHS, in parallel when the engine has
 // more than one worker. The returned slice is indexed like survivors, so
 // commit order is independent of scheduling.
@@ -55,8 +83,9 @@ func (e *Engine) fireAll(survivors []*match.Instantiation) ([]effect, error) {
 	nw := len(e.workers)
 	if nw == 1 || len(survivors) == 1 {
 		t0 := time.Now()
+		frame := &fireFrame{mode: e.opts.EvalMode}
 		for i, in := range survivors {
-			effects[i] = fireOne(in)
+			effects[i] = fireOne(in, frame)
 		}
 		e.workers[0].fireWork += time.Since(t0)
 	} else {
@@ -66,8 +95,9 @@ func (e *Engine) fireAll(survivors []*match.Instantiation) ([]effect, error) {
 			go func(wk int) {
 				defer wg.Done()
 				t0 := time.Now()
+				frame := &fireFrame{mode: e.opts.EvalMode}
 				for i := wk; i < len(survivors); i += nw {
-					effects[i] = fireOne(survivors[i])
+					effects[i] = fireOne(survivors[i], frame)
 				}
 				e.workers[wk].fireWork += time.Since(t0)
 			}(wk)
@@ -82,20 +112,18 @@ func (e *Engine) fireAll(survivors []*match.Instantiation) ([]effect, error) {
 	return effects, nil
 }
 
-// fireOne evaluates one instantiation's RHS into a buffered effect.
-func fireOne(in *match.Instantiation) effect {
+// fireOne evaluates one instantiation's RHS into a buffered effect, using
+// the worker's reusable frame for the environment and output buffer.
+func fireOne(in *match.Instantiation, f *fireFrame) effect {
 	var eff effect
-	env := &ruleEnv{inst: in}
-	if n := in.Rule.NumLocals; n > 0 {
-		env.locals = make([]wm.Value, n)
-	}
-	var out bytes.Buffer
+	f.reset(in)
+	env := &f.env
 	for _, a := range in.Rule.Actions {
 		switch a.Kind {
 		case compile.ActMake:
 			fields := make([]wm.Value, a.Tmpl.Arity())
 			for _, s := range a.Slots {
-				v, err := compile.Eval(s.Expr, env)
+				v, err := f.mode.Eval(s.Expr, env)
 				if err != nil {
 					eff.err = err
 					return eff
@@ -107,7 +135,7 @@ func fireOne(in *match.Instantiation) effect {
 			old := in.WMEs[a.Target]
 			fields := append([]wm.Value(nil), old.Fields...)
 			for _, s := range a.Slots {
-				v, err := compile.Eval(s.Expr, env)
+				v, err := f.mode.Eval(s.Expr, env)
 				if err != nil {
 					eff.err = err
 					return eff
@@ -126,7 +154,7 @@ func fireOne(in *match.Instantiation) effect {
 				env.locals[a.Local] = wm.Sym(fmt.Sprintf("g%s/%d", in.KeyString(), a.Local))
 				continue
 			}
-			v, err := compile.Eval(a.Exprs[0], env)
+			v, err := f.mode.Eval(a.Exprs[0], env)
 			if err != nil {
 				eff.err = err
 				return eff
@@ -134,22 +162,26 @@ func fireOne(in *match.Instantiation) effect {
 			env.locals[a.Local] = v
 		case compile.ActWrite:
 			for _, x := range a.Exprs {
-				v, err := compile.Eval(x, env)
+				v, err := f.mode.Eval(x, env)
 				if err != nil {
 					eff.err = err
 					return eff
 				}
 				if v.Kind == wm.KindStr {
-					out.WriteString(v.S)
+					f.out.WriteString(v.S)
 				} else {
-					out.WriteString(v.String())
+					f.out.WriteString(v.String())
 				}
 			}
 		case compile.ActHalt:
 			eff.halt = true
 		}
 	}
-	eff.output = out.Bytes()
+	// The frame's buffer is reused across firings, so the effect takes a
+	// copy; most firings write nothing and skip the allocation entirely.
+	if f.out.Len() > 0 {
+		eff.output = append([]byte(nil), f.out.Bytes()...)
+	}
 	return eff
 }
 

@@ -44,13 +44,15 @@ type redactor struct {
 	// justify redacting the other both die); sequential semantics keeps
 	// the first and spares everything it dominates transitively.
 	sequential bool
+	// evalMode is the backend for meta-rule test expressions.
+	evalMode compile.EvalMode
 }
 
-func newRedactor(metas []*compile.MetaRule, workers int, noIndex, sequential bool) *redactor {
+func newRedactor(metas []*compile.MetaRule, workers int, noIndex, sequential bool, evalMode compile.EvalMode) *redactor {
 	if workers < 1 {
 		workers = 1
 	}
-	return &redactor{metas: metas, workers: workers, noIndex: noIndex, sequential: sequential}
+	return &redactor{metas: metas, workers: workers, noIndex: noIndex, sequential: sequential, evalMode: evalMode}
 }
 
 // parallelThreshold is the pattern-0 candidate count below which striping
@@ -176,7 +178,7 @@ func (r *redactor) matchMeta(m *compile.MetaRule, states []patState, stripe, str
 			}
 			env := metaEnv{tuple: tuple}
 			for _, t := range m.Tests {
-				v, err := compile.Eval(t, env)
+				v, err := r.evalMode.Eval(t, env)
 				if err != nil || !v.Truthy() {
 					return
 				}

@@ -124,16 +124,16 @@ func (s *session) info(lastUsed time.Time) sessionInfo {
 // fresh engine with a capped output buffer. restore skips the program's
 // initial facts: a checkpointed working memory already contains them
 // under their original time tags.
-func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, maxCycles, outputCap, traceCycles int, now time.Time, restore bool) (*session, error) {
+func newSession(id, programName string, prog *compile.Program, workers int, matcherName string, evalMode compile.EvalMode, maxCycles, outputCap, traceCycles int, now time.Time, restore bool) (*session, error) {
 	// Server sessions always run with per-rule profiling on: the timing
 	// cost is a few clock reads per delta, and /metrics per-rule
 	// attribution is the product surface.
 	var factory match.Factory
 	switch matcherName {
 	case "", "rete":
-		matcherName, factory = "rete", rete.Factory(rete.Options{Profile: true})
+		matcherName, factory = "rete", rete.Factory(rete.Options{Profile: true, EvalMode: evalMode})
 	case "treat":
-		factory = treat.Factory(treat.Options{Profile: true})
+		factory = treat.Factory(treat.Options{Profile: true, EvalMode: evalMode})
 	default:
 		return nil, fmt.Errorf("unknown matcher %q (want rete or treat)", matcherName)
 	}
@@ -146,6 +146,7 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 		MaxCycles:      maxCycles,
 		NoInitialFacts: restore,
 		Tracer:         trace,
+		EvalMode:       evalMode,
 	})
 	return &session{
 		id:       id,

@@ -70,6 +70,40 @@ func GenCircuit(width, depth int, contended bool, seed int64) *Circuit {
 	return c
 }
 
+// GenBusCircuit builds a netlist where EVERY output wire is a contended
+// bus with `drivers` rival gates, so the one-driver-per-wire meta-rule
+// arbitrates drivers² instantiation pairs per wire per level. This is
+// the redaction-heavy regime: meta-rule predicate evaluation (not
+// matching) dominates the cycle, which is what the E13 eval-mode
+// ablation stresses.
+func GenBusCircuit(width, depth, drivers int, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{Inputs: make(map[int64]int64), Depth: depth}
+	for i := 0; i < width; i++ {
+		c.Inputs[int64(i)] = int64(rng.Intn(2))
+	}
+	nextGate := int64(0)
+	for l := 0; l < depth; l++ {
+		prevBase := int64(l * width)
+		outBase := int64((l + 1) * width)
+		for p := 0; p < width; p++ {
+			for d := 0; d < drivers; d++ {
+				kind := int64(rng.Intn(5))
+				in1 := prevBase + int64(rng.Intn(width))
+				in2 := prevBase + int64(rng.Intn(width))
+				if kind >= 3 {
+					in2 = in1
+				}
+				c.Gates = append(c.Gates, CircuitGate{
+					ID: nextGate, Kind: kind, In1: in1, In2: in2, Out: outBase + int64(p),
+				})
+				nextGate++
+			}
+		}
+	}
+	return c
+}
+
 // Insert loads the circuit into an engine: one gate WME per gate and one
 // driven wire per primary input.
 func (c *Circuit) Insert(ins Inserter) error {

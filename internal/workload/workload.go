@@ -94,19 +94,25 @@ func WaltzScene(ins Inserter, cubes int) error {
 			a3type = "tee"
 		}
 
+		// Drawing coordinates: the standard cube picture is a hexagon with
+		// the fork at the center, arrow corners and L corners alternating
+		// around the silhouette. Cubes are laid out left to right; the
+		// corner-pair rule's cross-product stage consumes these.
+		ox := int64(c * 12)
 		junctions := []struct {
 			id     int64
 			typ    string
 			e1, e2 int64
 			e3     wm.Value
+			x, y   int64
 		}{
-			{fork, "fork", i1, i2, wm.Int(i3)},
-			{a1, "arrow", i1, s1, wm.Int(s6)},
-			{a2, "arrow", i2, s2, wm.Int(s3)},
-			{a3, a3type, i3, s4, wm.Int(s5)},
-			{l1, "ell", s1, s2, wm.Nil()},
-			{l2, "ell", s3, s4, wm.Nil()},
-			{l3, "ell", s5, s6, wm.Nil()},
+			{fork, "fork", i1, i2, wm.Int(i3), ox + 0, 0},
+			{a1, "arrow", i1, s1, wm.Int(s6), ox + 0, 4},
+			{a2, "arrow", i2, s2, wm.Int(s3), ox - 3, -2},
+			{a3, a3type, i3, s4, wm.Int(s5), ox + 3, -2},
+			{l1, "ell", s1, s2, wm.Nil(), ox - 3, 2},
+			{l2, "ell", s3, s4, wm.Nil(), ox + 0, -4},
+			{l3, "ell", s5, s6, wm.Nil(), ox + 3, 2},
 		}
 		for _, j := range junctions {
 			_, err := ins.Insert("junction", map[string]wm.Value{
@@ -115,6 +121,8 @@ func WaltzScene(ins Inserter, cubes int) error {
 				"e1":   wm.Int(j.e1),
 				"e2":   wm.Int(j.e2),
 				"e3":   j.e3,
+				"x":    wm.Int(j.x),
+				"y":    wm.Int(j.y),
 			})
 			if err != nil {
 				return err
