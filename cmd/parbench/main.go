@@ -1,6 +1,6 @@
 // Command parbench regenerates the reconstructed evaluation: every table
-// and figure indexed in DESIGN.md §3 (E1–E11, E13). See EXPERIMENTS.md
-// for the recorded outputs and the paper-shape commentary.
+// and figure indexed in DESIGN.md §3 (E1–E11, E13, E14). See
+// EXPERIMENTS.md for the recorded outputs and the paper-shape commentary.
 //
 //	parbench                  run all experiments at full size
 //	parbench -exp e2,e5       run selected experiments
@@ -12,6 +12,8 @@
 //	parbench -evalbench -json …merged into the -out document under "eval"
 //	parbench -serve           single-op vs batched ingest against an in-process server
 //	parbench -serve -json     …merged into the -out document under "serve"
+//	parbench -stream          E14 continuous temporal ingest (TTL eviction vs WM growth)
+//	parbench -stream -json    …merged into the -out document under "stream"
 //	parbench -cluster         1-node vs 3-node aggregate ingest (in-process cluster)
 //	parbench -cluster -json   …merged into the -out document under "cluster"
 //	parbench -durability      WAL fsync policy cost at the session write path
@@ -35,12 +37,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11, e13) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e11, e13, e14) or 'all'")
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	evalFlag := flag.String("eval", "bytecode", "expression backend for the -json suite run: bytecode, interp")
 	evalBench := flag.Bool("evalbench", false, "run the E13 eval-mode ablation (bytecode VM vs tree walker) instead of the experiment tables")
 	jsonOut := flag.Bool("json", false, "run the workload suite and write a machine-readable BENCH_*.json document instead of the experiment tables")
 	serve := flag.Bool("serve", false, "benchmark server-level ingest (single-op vs batched) against an in-process paruleld")
+	streamBench := flag.Bool("stream", false, "benchmark continuous temporal ingest (E14) against an in-process paruleld")
 	clusterBench := flag.Bool("cluster", false, "benchmark 1-node vs 3-node aggregate ingest against an in-process cluster")
 	durability := flag.Bool("durability", false, "run the durability benchmark (WAL fsync policy comparison) instead of the experiment tables")
 	ruleProfile := flag.Bool("ruleprofile", false, "print per-rule match attribution tables instead of the experiment tables")
@@ -127,6 +130,27 @@ func main() {
 		return
 	}
 
+	if *streamBench {
+		doc, err := bench.RunStream(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.MergeStreamJSON(*out, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: stream: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "-" {
+				fmt.Fprintf(os.Stderr, "parbench: merged stream results into %s (%d facts, peak WM %d)\n",
+					*out, doc.FactsStreamed, doc.PeakWM)
+			}
+		} else {
+			bench.WriteStreamTable(os.Stdout, doc)
+		}
+		return
+	}
+
 	if *clusterBench {
 		doc, err := bench.RunCluster(*quick)
 		if err != nil {
@@ -196,7 +220,7 @@ func main() {
 	for i, id := range ids {
 		run, ok := bench.Experiments[strings.TrimSpace(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e11 or e13)\n", id)
+			fmt.Fprintf(os.Stderr, "parbench: unknown experiment %q (want e1..e11, e13 or e14)\n", id)
 			os.Exit(2)
 		}
 		if i > 0 {

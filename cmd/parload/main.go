@@ -4,6 +4,7 @@
 //	parload -url http://localhost:8467 -d 10s -c 8
 //	parload -url http://n1:8467,http://n2:8467,http://n3:8467   # cluster targets
 //	parload -mix assert=4,batch=2,run=1,snapshot=1 -batch 16
+//	parload -stream -stream-frames 8 -batch 64   # continuous NDJSON ingest
 //	parload -min-mutations-per-sec 100 -max-5xx 0 -max-transport-errors 0   # CI smoke gate
 //
 // With multiple -url endpoints the generator spreads sessions across them,
@@ -37,7 +38,10 @@ func main() {
 	concurrency := flag.Int("c", 8, "concurrent client goroutines")
 	duration := flag.Duration("d", 10*time.Second, "how long to generate load")
 	mixSpec := flag.String("mix", "assert=4,batch=2,run=1,snapshot=1", "op mix weights, kind=weight comma-separated")
-	batchSize := flag.Int("batch", 16, "facts per batch request")
+	batchSize := flag.Int("batch", 16, "facts per batch request (and per stream frame)")
+	stream := flag.Bool("stream", false, "continuous-ingest mode: all traffic is NDJSON stream requests against a TTL+window program")
+	streamFrames := flag.Int("stream-frames", 8, "NDJSON frames per stream request")
+	streamTTL := flag.Int64("stream-ttl", 0, "per-fact TTL override sent with streamed facts (0 = template default)")
 	workers := flag.Int("workers", 0, "engine workers per session (0 = server default)")
 	runTimeout := flag.Duration("run-timeout", 10*time.Second, "deadline sent with run ops")
 	seed := flag.Int64("seed", 1, "RNG seed for the op mix")
@@ -52,17 +56,22 @@ func main() {
 	if err != nil {
 		fail("bad -mix: %v", err)
 	}
+	if *stream {
+		mix = load.Mix{Stream: 1}
+	}
 	urls := strings.Split(*url, ",")
 	rep, err := load.Run(context.Background(), load.Config{
-		BaseURLs:    urls,
-		Sessions:    *sessions,
-		Concurrency: *concurrency,
-		Duration:    *duration,
-		Mix:         mix,
-		BatchSize:   *batchSize,
-		Workers:     *workers,
-		RunTimeout:  *runTimeout,
-		Seed:        *seed,
+		BaseURLs:     urls,
+		Sessions:     *sessions,
+		Concurrency:  *concurrency,
+		Duration:     *duration,
+		Mix:          mix,
+		BatchSize:    *batchSize,
+		StreamFrames: *streamFrames,
+		StreamTTL:    *streamTTL,
+		Workers:      *workers,
+		RunTimeout:   *runTimeout,
+		Seed:         *seed,
 	})
 	if err != nil {
 		fail("load run failed: %v", err)
@@ -119,6 +128,8 @@ func parseMix(spec string) (load.Mix, error) {
 			m.Run = w
 		case "snapshot":
 			m.Snapshot = w
+		case "stream":
+			m.Stream = w
 		default:
 			return m, fmt.Errorf("unknown op kind %q", kind)
 		}

@@ -40,11 +40,12 @@ var Experiments = map[string]func(w io.Writer, quick bool) error{
 	"e10": E10,
 	"e11": E11,
 	"e13": E13,
+	"e14": E14,
 }
 
 // Order lists experiment ids in presentation order. (e12 is the serving
 // benchmark, driven separately by `parbench -serve`.)
-var Order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13"}
+var Order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e13", "e14"}
 
 // loader populates an engine's working memory.
 type loader func(ins workload.Inserter) error

@@ -1,0 +1,269 @@
+package bench
+
+// E14 — continuous temporal ingest. Streams the fraud workload through a
+// real in-process paruleld via the NDJSON /stream endpoint: every frame
+// asserts one tick's transactions, advances the temporal clock (expiring
+// transactions older than the program's TTL through the normal retract
+// path), and runs the engine to quiescence. The point of the experiment
+// is the bound: cumulative facts streamed grows without limit while peak
+// working-memory size stays a small multiple of the per-tick arrival
+// rate, because TTL eviction retires each tick's transactions as fast as
+// new ones arrive.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"parulel/internal/server"
+	"parulel/internal/wm"
+	"parulel/internal/workload"
+)
+
+// StreamDoc is the `-stream` document, merged into BENCH_*.json under
+// "stream".
+type StreamDoc struct {
+	Schema        string  `json:"schema"` // "parulel-stream/v1"
+	GeneratedAt   string  `json:"generated_at"`
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	Quick         bool    `json:"quick"`
+	Frames        int     `json:"frames"`
+	FactsPerFrame int     `json:"facts_per_frame"`
+	Cards         int     `json:"cards"`
+	FactsStreamed int     `json:"facts_streamed"`
+	Ticks         int64   `json:"ticks"`
+	Expired       int     `json:"expired"`
+	PeakWM        int     `json:"peak_wm"`
+	FinalWM       int     `json:"final_wm"`
+	WallMS        int64   `json:"wall_ms"`
+	FactsPerSec   float64 `json:"facts_per_sec"`
+	// WMBoundRatio is peak WM over cumulative facts streamed — the
+	// headline number: it shrinks as the stream lengthens because TTL
+	// eviction holds the resident set near a constant.
+	WMBoundRatio float64 `json:"wm_bound_ratio"`
+}
+
+// streamShape sizes the run. Full mode streams ≥1M cumulative facts;
+// quick keeps the same frame structure at smoke-test volume.
+func streamShape(quick bool) (frames, perFrame, cards int) {
+	if quick {
+		return 100, 200, 32
+	}
+	return 1000, 1000, 64
+}
+
+// RunStream executes E14 against a fresh in-process server with a real
+// WAL under a temporary directory.
+func RunStream(quick bool) (*StreamDoc, error) {
+	frames, perFrame, cards := streamShape(quick)
+	doc := &StreamDoc{
+		Schema:        "parulel-stream/v1",
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+		Frames:        frames,
+		FactsPerFrame: perFrame,
+		Cards:         cards,
+	}
+
+	dir, err := os.MkdirTemp("", "parulel-stream-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{DataDir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("starting server: %w", err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	}()
+
+	sessID, err := streamSession(ts.URL, workload.FraudStreamProgram)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stream in bounded chunks of frames so request bodies stay under
+	// the server's 4 MiB body cap (a full-size frame is ~90 KB of JSON);
+	// the session and its temporal clock persist across requests, so the
+	// chunking is invisible to the workload.
+	const chunk = 20
+	start := time.Now()
+	for base := 0; base < frames; base += chunk {
+		n := chunk
+		if base+n > frames {
+			n = frames - base
+		}
+		var body bytes.Buffer
+		enc := json.NewEncoder(&body)
+		for i := 0; i < n; i++ {
+			facts := workload.FraudTxns(base+i, perFrame, cards, 1)
+			wire := make([]any, len(facts))
+			for j, f := range facts {
+				wire[j] = map[string]any{"template": "txn", "fields": wireFields(f)}
+			}
+			if err := enc.Encode(map[string]any{"facts": wire, "run": true, "timeout_ms": 60000}); err != nil {
+				return nil, err
+			}
+		}
+		if err := streamChunk(ts.URL, sessID, body.Bytes(), doc); err != nil {
+			return nil, fmt.Errorf("frames %d..%d: %w", base, base+n-1, err)
+		}
+	}
+	wall := time.Since(start)
+	doc.WallMS = wall.Milliseconds()
+	if wall > 0 {
+		doc.FactsPerSec = float64(doc.FactsStreamed) / wall.Seconds()
+	}
+	if doc.FactsStreamed > 0 {
+		doc.WMBoundRatio = float64(doc.PeakWM) / float64(doc.FactsStreamed)
+	}
+	return doc, nil
+}
+
+// wireFields renders generator values in the JSON wire form the server
+// decodes (symbols as strings, ints as numbers).
+func wireFields(f map[string]wm.Value) map[string]any {
+	out := make(map[string]any, len(f))
+	for k, v := range f {
+		switch v.Kind {
+		case wm.KindInt:
+			out[k] = v.I
+		case wm.KindFloat:
+			out[k] = v.F
+		default:
+			out[k] = v.S
+		}
+	}
+	return out
+}
+
+// streamChunk posts one NDJSON request and folds its response lines into
+// the document, tracking the peak working-memory size across frames.
+func streamChunk(baseURL, sessID string, body []byte, doc *StreamDoc) error {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/api/v1/sessions/"+sessID+"/stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Asserted int    `json:"asserted"`
+			Tick     int64  `json:"tick"`
+			Expired  int    `json:"expired"`
+			WMSize   int    `json:"wm_size"`
+			Error    string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if line.Error != "" {
+			return fmt.Errorf("stream error: %s", line.Error)
+		}
+		doc.FactsStreamed += line.Asserted
+		doc.Ticks = line.Tick
+		doc.Expired += line.Expired
+		doc.FinalWM = line.WMSize
+		if line.WMSize > doc.PeakWM {
+			doc.PeakWM = line.WMSize
+		}
+	}
+}
+
+// streamSession creates a session compiled from the given program source.
+func streamSession(baseURL, source string) (string, error) {
+	body, _ := json.Marshal(map[string]any{"source": source})
+	resp, err := http.Post(baseURL+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("creating session: status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// E14 — continuous ingest: cumulative stream volume vs resident working
+// memory. The table is the document rendered for terminal use.
+func E14(w io.Writer, quick bool) error {
+	doc, err := RunStream(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E14 — continuous temporal ingest: TTL eviction bounds working memory")
+	WriteStreamTable(w, doc)
+	return nil
+}
+
+// WriteStreamTable renders the document for terminal use.
+func WriteStreamTable(w io.Writer, doc *StreamDoc) {
+	fmt.Fprintf(w, "  fraud stream: %d frames x %d txns over %d cards (1 frame = 1 tick)\n",
+		doc.Frames, doc.FactsPerFrame, doc.Cards)
+	fmt.Fprintf(w, "  %-18s %12d\n", "facts streamed", doc.FactsStreamed)
+	fmt.Fprintf(w, "  %-18s %12d\n", "ticks", doc.Ticks)
+	fmt.Fprintf(w, "  %-18s %12d\n", "expired", doc.Expired)
+	fmt.Fprintf(w, "  %-18s %12d\n", "peak WM", doc.PeakWM)
+	fmt.Fprintf(w, "  %-18s %12d\n", "final WM", doc.FinalWM)
+	fmt.Fprintf(w, "  %-18s %12.1f\n", "facts/sec", doc.FactsPerSec)
+	fmt.Fprintf(w, "  %-18s %12.5f  (peak WM / cumulative facts)\n", "WM bound ratio", doc.WMBoundRatio)
+}
+
+// MergeStreamJSON writes the stream document into path under a "stream"
+// key, preserving every other key of an existing BENCH_*.json ("-" =
+// stdout, stream document only).
+func MergeStreamJSON(path string, doc *StreamDoc) error {
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	merged := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &merged); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	merged["stream"] = doc
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

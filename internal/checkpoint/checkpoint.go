@@ -26,6 +26,7 @@ import (
 	"parulel/internal/core"
 	"parulel/internal/match"
 	"parulel/internal/snapshot"
+	"parulel/internal/temporal"
 	"parulel/internal/wm"
 )
 
@@ -60,6 +61,11 @@ type Header struct {
 	// Fired is the refraction set: keys of instantiations that fired and
 	// are still in the conflict set.
 	Fired []match.Key `json:"fired,omitempty"`
+
+	// Temporal is the temporal clock's state (nil for sessions that have
+	// never ticked and track nothing). Its serialization is deterministic,
+	// preserving the byte-identical-snapshot property.
+	Temporal *temporal.State `json:"temporal,omitempty"`
 }
 
 // Fact is one restored working-memory element, paired by index with
@@ -73,6 +79,9 @@ type Fact struct {
 // fills every header field except Tags, which Write derives from mem so
 // it cannot fall out of step with the body.
 func Write(w io.Writer, h Header, mem *wm.Memory) error {
+	if err := mem.CheckTagInvariant(); err != nil {
+		return fmt.Errorf("checkpoint: refusing to snapshot: %w", err)
+	}
 	snap := mem.Snapshot()
 	h.Tags = make([]int64, len(snap))
 	for i, el := range snap {

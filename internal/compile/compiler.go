@@ -30,11 +30,17 @@ func Compile(src *lang.Program) (*Program, error) {
 			return nil, cerrf(td.Pos, "%v", err)
 		}
 	}
+	if err := compileTemporal(p, src); err != nil {
+		return nil, err
+	}
 	for _, fd := range src.Facts {
 		for _, f := range fd.Facts {
 			tmpl, ok := p.Schema.Lookup(f.Type)
 			if !ok {
 				return nil, cerrf(f.Pos, "wm fact of undeclared template %q", f.Type)
+			}
+			if p.Temporal.IsAggregate(f.Type) {
+				return nil, cerrf(f.Pos, "wm fact of window aggregate template %q (maintained by the temporal clock)", f.Type)
 			}
 			fields := make([]wm.Value, tmpl.Arity())
 			for _, s := range f.Slots {
@@ -74,6 +80,87 @@ func Compile(src *lang.Program) (*Program, error) {
 	}
 	lowerProgram(p)
 	return p, nil
+}
+
+// compileTemporal validates the program's ttl and window declarations,
+// auto-declares window aggregate templates, and attaches the compiled
+// Temporal spec. Windows are processed first so TTL declarations naming
+// an aggregate template are caught.
+func compileTemporal(p *Program, src *lang.Program) error {
+	if len(src.TTLs) == 0 && len(src.Windows) == 0 {
+		return nil
+	}
+	t := &Temporal{agg: make(map[string]bool)}
+	for _, wd := range src.Windows {
+		srcTmpl, ok := p.Schema.Lookup(wd.Source)
+		if !ok {
+			return cerrf(wd.Pos, "window %q over undeclared template %q", wd.Name, wd.Source)
+		}
+		if t.agg[wd.Source] {
+			return cerrf(wd.Pos, "window %q over window aggregate template %q", wd.Name, wd.Source)
+		}
+		agg, err := p.Schema.Declare(wd.Name, "key", "count", "sum", "min", "max")
+		if err != nil {
+			return cerrf(wd.Pos, "window %q: %v", wd.Name, err)
+		}
+		spec := WindowSpec{Name: wd.Name, Agg: agg, Source: srcTmpl, KeyField: -1, ValField: -1}
+		for _, s := range wd.Slots {
+			switch s.Attr {
+			case "key", "val":
+				if s.Val.Kind != wm.KindSym {
+					return cerrf(wd.Pos, "window %q: ^%s expects a source attribute name", wd.Name, s.Attr)
+				}
+				f, ok := srcTmpl.AttrIndex(s.Val.S)
+				if !ok {
+					return cerrf(wd.Pos, "window %q: source template %q has no attribute %q", wd.Name, wd.Source, s.Val.S)
+				}
+				if s.Attr == "key" {
+					spec.KeyField = f
+				} else {
+					spec.ValField = f
+				}
+			case "ticks", "last":
+				if s.Val.Kind != wm.KindInt || s.Val.I < 1 {
+					return cerrf(wd.Pos, "window %q: ^%s expects a positive integer", wd.Name, s.Attr)
+				}
+				if s.Attr == "ticks" {
+					spec.Ticks = s.Val.I
+				} else {
+					spec.Last = s.Val.I
+				}
+			default:
+				return cerrf(wd.Pos, "window %q: unknown option ^%s (want key, ticks, last or val)", wd.Name, s.Attr)
+			}
+		}
+		if spec.KeyField < 0 {
+			return cerrf(wd.Pos, "window %q: ^key is required", wd.Name)
+		}
+		if (spec.Ticks > 0) == (spec.Last > 0) {
+			return cerrf(wd.Pos, "window %q: exactly one of ^ticks and ^last is required", wd.Name)
+		}
+		t.agg[wd.Name] = true
+		t.Windows = append(t.Windows, spec)
+	}
+	seen := make(map[string]bool)
+	for _, td := range src.TTLs {
+		if t.agg[td.Tmpl] {
+			return cerrf(td.Pos, "ttl on window aggregate template %q", td.Tmpl)
+		}
+		tmpl, ok := p.Schema.Lookup(td.Tmpl)
+		if !ok {
+			return cerrf(td.Pos, "ttl on undeclared template %q", td.Tmpl)
+		}
+		if seen[td.Tmpl] {
+			return cerrf(td.Pos, "ttl on template %q redeclared", td.Tmpl)
+		}
+		if td.Ticks < 1 {
+			return cerrf(td.Pos, "ttl %s: tick count must be positive, got %d", td.Tmpl, td.Ticks)
+		}
+		seen[td.Tmpl] = true
+		t.TTLs = append(t.TTLs, TTLSpec{Tmpl: tmpl, Ticks: td.Ticks})
+	}
+	p.Temporal = t
+	return nil
 }
 
 // ruleCtx carries the state of one rule compilation.
@@ -444,6 +531,9 @@ func (ctx *ruleCtx) compileAction(a lang.Action) (*Action, error) {
 		if !ok {
 			return nil, cerrf(a.Pos, "rule %s: make of undeclared template %q", ctx.rule.Name, a.Type)
 		}
+		if ctx.prog.Temporal.IsAggregate(a.Type) {
+			return nil, cerrf(a.Pos, "rule %s: make of window aggregate template %q (maintained by the temporal clock)", ctx.rule.Name, a.Type)
+		}
 		slots, err := ctx.compileActionSlots(tmpl, a.Type, a.Slots)
 		if err != nil {
 			return nil, err
@@ -455,6 +545,9 @@ func (ctx *ruleCtx) compileAction(a lang.Action) (*Action, error) {
 			return nil, err
 		}
 		tmpl := ctx.positiveCE(pos).Tmpl
+		if ctx.prog.Temporal.IsAggregate(tmpl.Name) {
+			return nil, cerrf(a.Pos, "rule %s: modify of window aggregate template %q (maintained by the temporal clock)", ctx.rule.Name, tmpl.Name)
+		}
 		slots, err := ctx.compileActionSlots(tmpl, tmpl.Name, a.Slots)
 		if err != nil {
 			return nil, err
@@ -466,6 +559,9 @@ func (ctx *ruleCtx) compileAction(a lang.Action) (*Action, error) {
 			pos, err := ctx.resolveDesignator(d)
 			if err != nil {
 				return nil, err
+			}
+			if tmpl := ctx.positiveCE(pos).Tmpl; ctx.prog.Temporal.IsAggregate(tmpl.Name) {
+				return nil, cerrf(a.Pos, "rule %s: remove of window aggregate template %q (maintained by the temporal clock)", ctx.rule.Name, tmpl.Name)
 			}
 			act.Targets = append(act.Targets, pos)
 		}

@@ -25,7 +25,10 @@ type Program struct {
 	Rules     []*Rule
 	MetaRules []*MetaRule
 	Facts     []InitialFact
-	byName    map[string]*Rule
+	// Temporal is the compiled temporal specification (nil when the
+	// program declares no ttl or window forms).
+	Temporal *Temporal
+	byName   map[string]*Rule
 }
 
 // RuleByName returns the compiled object rule with the given name.
@@ -38,6 +41,46 @@ func (p *Program) RuleByName(name string) (*Rule, bool) {
 type InitialFact struct {
 	Tmpl   *wm.Template
 	Fields []wm.Value
+}
+
+// Temporal is the compiled temporal specification: per-template TTL
+// defaults and sliding-window aggregate declarations, in source order.
+// The temporal clock (internal/temporal) interprets it at run time; the
+// matchers never see it — window aggregates are ordinary WMEs of the
+// auto-declared aggregate templates, matched by ordinary join tests.
+type Temporal struct {
+	TTLs    []TTLSpec
+	Windows []WindowSpec
+	agg     map[string]bool
+}
+
+// IsAggregate reports whether the named template is a window aggregate
+// (maintained exclusively by the temporal clock).
+func (t *Temporal) IsAggregate(name string) bool {
+	return t != nil && t.agg[name]
+}
+
+// TTLSpec is a compiled `(ttl …)` declaration: facts of Tmpl expire
+// Ticks logical ticks after absorption.
+type TTLSpec struct {
+	Tmpl  *wm.Template
+	Ticks int64
+}
+
+// WindowSpec is a compiled `(window …)` declaration. Agg is the
+// auto-declared aggregate template `(literalize name key count sum min
+// max)`: one WME per distinct key value with facts in the window, with
+// sum/min/max nil unless ^val named a source attribute. Exactly one of
+// Ticks (facts born within the last Ticks logical ticks) and Last (the
+// last Last facts per key) is positive.
+type WindowSpec struct {
+	Name     string
+	Agg      *wm.Template
+	Source   *wm.Template
+	KeyField int
+	ValField int // -1 when the window only counts
+	Ticks    int64
+	Last     int64
 }
 
 // Rule is a compiled object-level production.

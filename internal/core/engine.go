@@ -312,6 +312,22 @@ func (e *Engine) Retract(timeTag int64) bool {
 	return false
 }
 
+// RetractBatch retracts a set of time tags in ascending tag order —
+// the expiry hook for the temporal clock. Expiry must be deterministic
+// (the retract order feeds the matchers' delta order, and WAL replay
+// re-executes it), so the batch is sorted here rather than trusting the
+// caller. It returns the number of tags that named live WMEs.
+func (e *Engine) RetractBatch(tags []int64) int {
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	n := 0
+	for _, tag := range tags {
+		if e.Retract(tag) {
+			n++
+		}
+	}
+	return n
+}
+
 // takePending consumes the pending delta for the match phase, compacting
 // out any tombstones Retract left and resetting the retract index.
 func (e *Engine) takePending() wm.Delta {

@@ -4,10 +4,13 @@ import (
 	"parulel/internal/wm"
 )
 
-// Program is a parsed PARULEL source file: template declarations, object
-// rules, meta-rules and initial working-memory blocks, in source order.
+// Program is a parsed PARULEL source file: template declarations,
+// temporal declarations, object rules, meta-rules and initial
+// working-memory blocks, in source order.
 type Program struct {
 	Templates []*TemplateDecl
+	TTLs      []*TTLDecl
+	Windows   []*WindowDecl
 	Rules     []*Rule
 	MetaRules []*MetaRule
 	Facts     []*FactDecl
@@ -18,6 +21,32 @@ type TemplateDecl struct {
 	Pos   Pos
 	Name  string
 	Attrs []string
+}
+
+// TTLDecl is a `(ttl template ticks)` declaration: facts of the template
+// expire — are retracted by the engine — a fixed number of logical ticks
+// after the temporal clock absorbs them.
+type TTLDecl struct {
+	Pos   Pos
+	Tmpl  string
+	Ticks int64
+}
+
+// WindowDecl is a `(window name source ^option value …)` declaration of a
+// sliding-window aggregate over facts of a source template:
+//
+//	(window txn-win txn ^key card ^ticks 5 ^val amount)
+//
+// The options are attribute/constant pairs kept verbatim (the compiler
+// interprets them): ^key names the source attribute to group by, exactly
+// one of ^ticks (last N logical ticks) or ^last (last K facts per key)
+// sets the window extent, and ^val optionally names the numeric source
+// attribute aggregated into sum/min/max.
+type WindowDecl struct {
+	Pos    Pos
+	Name   string
+	Source string
+	Slots  []FactSlot
 }
 
 // FactDecl is a top-level `(wm (type ^attr const …) …)` block declaring

@@ -9,8 +9,10 @@ import (
 // Grammar (EBNF, tokens in caps):
 //
 //	program    = { decl } .
-//	decl       = "(" ( literalize | rule | metarule | wmblock ) ")" .
+//	decl       = "(" ( literalize | ttl | window | rule | metarule | wmblock ) ")" .
 //	literalize = "literalize" SYM { SYM } .
+//	ttl        = "ttl" SYM INT .
+//	window     = "window" SYM SYM { ATTR constant } .
 //	wmblock    = "wm" { "(" SYM { ATTR constant } ")" } .
 //	rule       = "rule" SYM { condElem } ARROW { action } .
 //	condElem   = [ "-" ] "(" pattern-or-test ")"
@@ -70,8 +72,20 @@ func Parse(src string) (*Program, error) {
 				return nil, err
 			}
 			prog.Facts = append(prog.Facts, f)
+		case "ttl":
+			d, err := p.parseTTL(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.TTLs = append(prog.TTLs, d)
+		case "window":
+			d, err := p.parseWindow(kw.Pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Windows = append(prog.Windows, d)
 		default:
-			return nil, errf(kw.Pos, "parse: unknown declaration %q (want literalize, rule, metarule or wm)", kw.Text)
+			return nil, errf(kw.Pos, "parse: unknown declaration %q (want literalize, ttl, window, rule, metarule or wm)", kw.Text)
 		}
 	}
 	return prog, nil
@@ -120,6 +134,48 @@ func (p *Parser) parseLiteralize(pos Pos) (*TemplateDecl, error) {
 		return nil, errf(pos, "parse: literalize %s: at least one attribute required", d.Name)
 	}
 	return d, p.next() // consume ')'
+}
+
+func (p *Parser) parseTTL(pos Pos) (*TTLDecl, error) {
+	name, err := p.symbol("template name")
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokInt {
+		return nil, errf(p.tok.Pos, "parse: ttl %s: expected an integer tick count, found %s", name.Text, p.tok)
+	}
+	d := &TTLDecl{Pos: pos, Tmpl: name.Text, Ticks: p.tok.Int}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return d, p.expect(TokRParen)
+}
+
+func (p *Parser) parseWindow(pos Pos) (*WindowDecl, error) {
+	name, err := p.symbol("window name")
+	if err != nil {
+		return nil, err
+	}
+	src, err := p.symbol("source template name")
+	if err != nil {
+		return nil, err
+	}
+	d := &WindowDecl{Pos: pos, Name: name.Text, Source: src.Text}
+	for p.tok.Kind != TokRParen {
+		if p.tok.Kind != TokAttr {
+			return nil, errf(p.tok.Pos, "parse: expected ^option in window %s, found %s", d.Name, p.tok)
+		}
+		attr := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		v, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		d.Slots = append(d.Slots, FactSlot{Attr: attr, Val: v})
+	}
+	return d, p.next()
 }
 
 func (p *Parser) parseWMBlock(pos Pos) (*FactDecl, error) {

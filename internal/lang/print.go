@@ -15,6 +15,16 @@ func Print(p *Program) string {
 	for _, t := range p.Templates {
 		fmt.Fprintf(&b, "(literalize %s %s)\n", t.Name, strings.Join(t.Attrs, " "))
 	}
+	for _, d := range p.TTLs {
+		fmt.Fprintf(&b, "(ttl %s %d)\n", d.Tmpl, d.Ticks)
+	}
+	for _, d := range p.Windows {
+		fmt.Fprintf(&b, "(window %s %s", d.Name, d.Source)
+		for _, s := range d.Slots {
+			fmt.Fprintf(&b, " ^%s %s", s.Attr, printValue(s.Val))
+		}
+		b.WriteString(")\n")
+	}
 	for _, f := range p.Facts {
 		b.WriteString("(wm\n")
 		for _, fact := range f.Facts {

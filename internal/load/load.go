@@ -38,6 +38,25 @@ const DefaultSource = `
   (modify <i> ^state done))
 `
 
+// StreamSource is the workload program for stream traffic: TTL'd event
+// facts (per-fact overrides also work against it) and a per-sensor
+// sliding-window aggregate, so continuous ingest exercises expiry and
+// window maintenance, not just insertion.
+const StreamSource = `
+(literalize item k state)
+(literalize event k sensor val state)
+(ttl event 8)
+(window evwin event ^key sensor ^ticks 8 ^val val)
+(rule touch
+  <i> <- (item ^k <k> ^state new)
+-->
+  (modify <i> ^state done))
+(rule touch-event
+  <e> <- (event ^k <k> ^state new)
+-->
+  (modify <e> ^state done))
+`
+
 // Mix weights the operation kinds. A zero weight disables the kind; an
 // all-zero Mix defaults to {Assert: 4, Batch: 2, Run: 1, Snapshot: 1}.
 type Mix struct {
@@ -45,9 +64,10 @@ type Mix struct {
 	Batch    int `json:"batch"`    // POST /batch with BatchSize asserts
 	Run      int `json:"run"`      // POST /run
 	Snapshot int `json:"snapshot"` // GET /snapshot
+	Stream   int `json:"stream"`   // POST /stream with StreamFrames NDJSON frames
 }
 
-func (m Mix) total() int { return m.Assert + m.Batch + m.Run + m.Snapshot }
+func (m Mix) total() int { return m.Assert + m.Batch + m.Run + m.Snapshot + m.Stream }
 
 // Config parameterizes one load run.
 type Config struct {
@@ -63,11 +83,18 @@ type Config struct {
 	Duration    time.Duration `json:"-"`
 	Mix         Mix           `json:"mix"`
 	BatchSize   int           `json:"batch_size"` // facts per batch op; default 16
-	Source      string        `json:"-"`          // program source; default DefaultSource
-	Workers     int           `json:"workers,omitempty"`
-	RunTimeout  time.Duration `json:"-"`
-	Seed        int64         `json:"seed"`
-	Client      *http.Client  `json:"-"`
+	// StreamFrames is the number of NDJSON frames per stream request;
+	// each frame carries BatchSize facts, ticks the temporal clock once,
+	// and the last frame runs the engine. Default 8.
+	StreamFrames int `json:"stream_frames,omitempty"`
+	// StreamTTL is the per-fact TTL override sent with streamed facts;
+	// 0 sends none (the template default applies). Default 0.
+	StreamTTL  int64         `json:"stream_ttl,omitempty"`
+	Source     string        `json:"-"` // program source; default DefaultSource (StreamSource when the mix streams)
+	Workers    int           `json:"workers,omitempty"`
+	RunTimeout time.Duration `json:"-"`
+	Seed       int64         `json:"seed"`
+	Client     *http.Client  `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -92,8 +119,15 @@ func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 16
 	}
+	if c.StreamFrames <= 0 {
+		c.StreamFrames = 8
+	}
 	if c.Source == "" {
-		c.Source = DefaultSource
+		if c.Mix.Stream > 0 {
+			c.Source = StreamSource
+		} else {
+			c.Source = DefaultSource
+		}
 	}
 	if c.RunTimeout <= 0 {
 		c.RunTimeout = 10 * time.Second
@@ -317,8 +351,10 @@ func pick(m Mix, rng *rand.Rand) string {
 		return "batch"
 	case n < m.Assert+m.Batch+m.Run:
 		return "run"
-	default:
+	case n < m.Assert+m.Batch+m.Run+m.Snapshot:
 		return "snapshot"
+	default:
+		return "stream"
 	}
 }
 
@@ -326,6 +362,9 @@ func pick(m Mix, rng *rand.Rand) string {
 // one transport failover. A zero-status sample means the request never
 // completed (context over mid-flight) and is not counted.
 func doOp(ctx context.Context, cfg Config, rt *router, op, sessID, key string) sample {
+	if op == "stream" {
+		return doStream(ctx, cfg, rt, sessID, key)
+	}
 	var (
 		method = http.MethodPost
 		path   = "/api/v1/sessions/" + sessID
@@ -388,6 +427,117 @@ func doOp(ctx context.Context, cfg Config, rt *router, op, sessID, key string) s
 		s.latency = time.Since(t0)
 		return s
 	}
+}
+
+// doStream issues one NDJSON stream request of StreamFrames frames, each
+// carrying BatchSize event facts and one clock tick; the final frame runs
+// the engine. Asserted facts are counted from the per-frame response
+// lines, so a stream cut short by an in-band error still credits its
+// applied prefix. An in-band error is counted like a 5xx: a healthy
+// server streaming a well-formed workload must never produce one.
+func doStream(ctx context.Context, cfg Config, rt *router, sessID, key string) sample {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < cfg.StreamFrames; i++ {
+		facts := make([]any, cfg.BatchSize)
+		for j := range facts {
+			f := map[string]any{
+				"template": "event",
+				"fields": map[string]any{
+					"k":      fmt.Sprintf("%s-%d-%d", key, i, j),
+					"sensor": fmt.Sprintf("sensor-%d", j%8),
+					"val":    j,
+					"state":  "new",
+				},
+			}
+			if cfg.StreamTTL > 0 {
+				f["ttl"] = cfg.StreamTTL
+			}
+			facts[j] = f
+		}
+		frame := map[string]any{"facts": facts}
+		if i == cfg.StreamFrames-1 {
+			frame["run"] = true
+			frame["timeout_ms"] = cfg.RunTimeout.Milliseconds()
+		}
+		_ = enc.Encode(frame)
+	}
+	body := buf.Bytes()
+
+	base := rt.pick(sessID)
+	path := "/api/v1/sessions/" + sessID + "/stream"
+	s := sample{op: "stream"}
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		status, loc, asserted, streamErr, err := doStreamRequest(ctx, cfg.Client, base+path, body)
+		switch {
+		case err != nil:
+			if attempt == 0 && len(cfg.BaseURLs) > 1 {
+				base = rt.failover(base)
+				rt.pin(sessID, base)
+				s.retries++
+				continue
+			}
+			s.status = statusTransport
+		case status == 0:
+			return sample{} // run ended mid-flight; not an observation
+		case status == http.StatusTemporaryRedirect && loc != "":
+			if nb := baseOf(loc); nb != "" && attempt == 0 {
+				rt.pin(sessID, nb)
+				base = nb
+				s.redirects++
+				continue
+			}
+			s.status = status
+		case streamErr != "":
+			s.status = http.StatusInternalServerError
+			s.facts = asserted
+		default:
+			s.status = status
+			if status < 300 {
+				s.facts = asserted
+			}
+		}
+		s.latency = time.Since(t0)
+		return s
+	}
+}
+
+// doStreamRequest posts one NDJSON body and folds the response lines:
+// total facts asserted plus the first in-band error, if any.
+func doStreamRequest(ctx context.Context, client *http.Client, url string, body []byte) (status int, loc string, asserted int, streamErr string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return 0, "", 0, "", nil
+		}
+		return 0, "", 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 300 {
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var line struct {
+				Asserted int    `json:"asserted"`
+				Error    string `json:"error"`
+			}
+			if derr := dec.Decode(&line); derr != nil {
+				break
+			}
+			asserted += line.Asserted
+			if line.Error != "" {
+				streamErr = line.Error
+				break
+			}
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get("Location"), asserted, streamErr, nil
 }
 
 // baseOf extracts scheme://host from a redirect Location.

@@ -148,11 +148,14 @@ func toFields(in map[string]jsonValue) map[string]wm.Value {
 	return out
 }
 
-// factPayload is one working-memory element on the wire.
+// factPayload is one working-memory element on the wire. TTL (asserts
+// only) overrides the template's default lifetime: the fact expires that
+// many ticks after the session's temporal clock absorbs it.
 type factPayload struct {
 	Template string               `json:"template"`
 	Time     int64                `json:"time,omitempty"`
 	Fields   map[string]jsonValue `json:"fields"`
+	TTL      int64                `json:"ttl,omitempty"`
 }
 
 // encodeFact renders a live WME, eliding nil attributes like the
@@ -192,6 +195,7 @@ type sessionInfo struct {
 	Cycles     int    `json:"cycles"`
 	Firings    int    `json:"firings"`
 	Redactions int    `json:"redactions"`
+	Tick       int64  `json:"tick,omitempty"`
 	Busy       bool   `json:"busy"`
 	Durable    bool   `json:"durable,omitempty"`
 }
@@ -233,13 +237,15 @@ type runResponse struct {
 
 // batchOp is one operation in a batch request. Op selects which of the
 // remaining fields apply: assert uses Facts, retract uses Template/Fields,
-// run uses TimeoutMS (same semantics as runRequest.TimeoutMS).
+// run uses TimeoutMS (same semantics as runRequest.TimeoutMS), tick uses
+// Ticks (how many clock advances; 0 means 1).
 type batchOp struct {
 	Op        string               `json:"op"`
 	Facts     []factPayload        `json:"facts,omitempty"`
 	Template  string               `json:"template,omitempty"`
 	Fields    map[string]jsonValue `json:"fields,omitempty"`
 	TimeoutMS int64                `json:"timeout_ms,omitempty"`
+	Ticks     int64                `json:"ticks,omitempty"`
 }
 
 // batchRequest applies an ordered list of operations in one WAL-framed
@@ -250,10 +256,12 @@ type batchRequest struct {
 
 // batchOpResult reports one batch op's outcome. Error is set on the op
 // that stopped the batch; ops after it were not attempted and have no
-// result entry.
+// result entry. For tick ops Count is the number of facts expired and
+// Tick the clock value after the op.
 type batchOpResult struct {
 	Op    string       `json:"op"`
 	Count int          `json:"count,omitempty"`
+	Tick  int64        `json:"tick,omitempty"`
 	Run   *runResponse `json:"run,omitempty"`
 	Error string       `json:"error,omitempty"`
 }

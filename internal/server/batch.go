@@ -45,8 +45,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		case "run":
 			containsRun = true
+		case "tick":
+			if op.Ticks < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: ticks must be non-negative", i))
+				return
+			}
 		default:
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown op %q (want assert, retract or run)", i, op.Op))
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: unknown op %q (want assert, retract, run or tick)", i, op.Op))
 			return
 		}
 	}
@@ -96,6 +101,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					if !checkFields(i, f.Template, f.Fields) {
 						return
 					}
+					if f.TTL < 0 {
+						writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: ttl must be non-negative", i))
+						return
+					}
 				}
 			case "retract":
 				if !checkFields(i, op.Template, op.Fields) {
@@ -120,11 +129,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				inserted := make([]wal.Fact, 0, len(op.Facts))
 				for j, f := range op.Facts {
 					fields := toFields(f.Fields)
-					if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+					el, err := sess.eng.Insert(f.Template, fields)
+					if err != nil {
 						result.Error = fmt.Sprintf("fact %d: %v", j, err)
 						break
 					}
-					inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields)})
+					if f.TTL > 0 {
+						sess.clock.SetTTL(el, f.TTL)
+					}
+					inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields), TTL: f.TTL})
 				}
 				result.Count = len(inserted)
 				if len(inserted) > 0 {
@@ -158,6 +171,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if out.err != nil {
 					result.Error = out.err.Error()
 				}
+			case "tick":
+				n := op.Ticks
+				if n == 0 {
+					n = 1
+				}
+				expired := 0
+				for k := int64(0); k < n; k++ {
+					res := sess.clock.Tick()
+					expired += res.Expired
+					result.Tick = res.Now
+					// One record per tick: replay re-executes each advance and
+					// verifies the clock value and expiry count it produced.
+					sink(&wal.Record{Op: wal.OpTick, Tick: res.Now, Count: res.Expired})
+				}
+				result.Count = expired
+				s.metrics.ticksObserved(n, expired)
 			}
 			results = append(results, result)
 			if result.Error != "" {

@@ -49,6 +49,13 @@ type collector struct {
 	batches  uint64 // batch requests served
 	batchOps uint64 // ops applied across all batches
 
+	// Stream/temporal counters.
+	streamFrames   uint64 // NDJSON frames applied across all stream requests
+	streamFacts    uint64 // facts asserted via stream frames
+	streamRejected uint64 // stream requests refused with 429
+	ticks          uint64 // temporal clock advances (batch tick ops + frames)
+	expiredFacts   uint64 // facts retracted by TTL expiry
+
 	// Durability counters; durEnabled gates the payload section.
 	durEnabled         bool
 	foundOnBoot        int
@@ -183,6 +190,24 @@ func (c *collector) batchObserved(ops int) {
 	c.mu.Lock()
 	c.batches++
 	c.batchOps += uint64(ops)
+	c.mu.Unlock()
+}
+
+// streamFrameObserved records one applied stream frame and its fact count.
+func (c *collector) streamFrameObserved(facts int) {
+	c.mu.Lock()
+	c.streamFrames++
+	c.streamFacts += uint64(facts)
+	c.mu.Unlock()
+}
+
+func (c *collector) streamRejectedObserved() { c.bump(&c.streamRejected) }
+
+// ticksObserved records temporal clock advances and the facts they expired.
+func (c *collector) ticksObserved(n int64, expired int) {
+	c.mu.Lock()
+	c.ticks += uint64(n)
+	c.expiredFacts += uint64(expired)
 	c.mu.Unlock()
 }
 
@@ -349,6 +374,16 @@ type metricsPayload struct {
 		Batches uint64 `json:"batches"`
 		Ops     uint64 `json:"ops"`
 	} `json:"batches"`
+	// Stream reports the continuous-ingest pipeline and the temporal
+	// clock: frames and facts absorbed, 429-rejected stream requests,
+	// clock advances and TTL-expired facts.
+	Stream struct {
+		Frames   uint64 `json:"frames"`
+		Facts    uint64 `json:"facts"`
+		Rejected uint64 `json:"rejected"`
+		Ticks    uint64 `json:"ticks"`
+		Expired  uint64 `json:"expired"`
+	} `json:"stream"`
 	Engine struct {
 		Cycles          uint64                  `json:"cycles"`
 		Fired           uint64                  `json:"fired"`
@@ -400,6 +435,11 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued,
 	p.Jobs.Active = jobsActive
 	p.Batches.Batches = c.batches
 	p.Batches.Ops = c.batchOps
+	p.Stream.Frames = c.streamFrames
+	p.Stream.Facts = c.streamFacts
+	p.Stream.Rejected = c.streamRejected
+	p.Stream.Ticks = c.ticks
+	p.Stream.Expired = c.expiredFacts
 	p.Engine.Cycles = c.cycles
 	p.Engine.Fired = c.fired
 	p.Engine.Redacted = c.redacted

@@ -106,6 +106,12 @@ func writePrometheus(w io.Writer, m metricsPayload) {
 	p.counter("parulel_batches_total", "Batch requests served.", float64(m.Batches.Batches))
 	p.counter("parulel_batch_ops_total", "Batch operations applied.", float64(m.Batches.Ops))
 
+	p.counter("parulel_stream_frames_total", "NDJSON stream frames applied.", float64(m.Stream.Frames))
+	p.counter("parulel_stream_facts_total", "Facts asserted via stream frames.", float64(m.Stream.Facts))
+	p.counter("parulel_stream_rejected_total", "Stream requests fast-failed with 429.", float64(m.Stream.Rejected))
+	p.counter("parulel_temporal_ticks_total", "Temporal clock advances.", float64(m.Stream.Ticks))
+	p.counter("parulel_temporal_expired_total", "Facts retracted by TTL expiry.", float64(m.Stream.Expired))
+
 	p.counter("parulel_engine_cycles_total", "Committed engine cycles across all sessions.", float64(m.Engine.Cycles))
 	p.counter("parulel_engine_fired_total", "Instantiations fired across all sessions.", float64(m.Engine.Fired))
 	p.counter("parulel_engine_redacted_total", "Instantiations redacted by meta-rules.", float64(m.Engine.Redacted))

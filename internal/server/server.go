@@ -275,6 +275,20 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the NDJSON
+// /stream endpoint) can push each response line out while the request is
+// still in flight; without this the wrapper would hide the underlying
+// Flusher and per-frame results would sit in the buffer until the whole
+// stream ended.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
 // ServeHTTP implements http.Handler. Every request is assigned an id,
 // propagated via context into handler log lines, and finished with one
 // structured access record.
@@ -309,6 +323,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/retract", s.routed(s.handleRetract))
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/run", s.routed(s.handleRun))
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/batch", s.routed(s.handleBatch))
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/stream", s.routed(s.handleStream))
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs", s.routed(s.handleJobList))
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/jobs/{job}", s.routed(s.handleJobGet))
 	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/jobs/{job}", s.routed(s.handleJobCancel))
@@ -501,6 +516,13 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 // evicted while the request waited for the slot is looked up again once —
 // with durability on, the re-lookup rehydrates it instead of answering 410.
 func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(sess *session)) {
+	s.withSessionGate(w, r, nil, fn)
+}
+
+// withSessionGate is withSession with an extra hook invoked when the
+// mutation-queue gate rejects the request (the stream handler counts
+// those separately).
+func (s *Server) withSessionGate(w http.ResponseWriter, r *http.Request, onReject func(), fn func(sess *session)) {
 	for attempt := 0; ; attempt++ {
 		sess := s.lookup(w, r)
 		if sess == nil {
@@ -509,6 +531,9 @@ func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(ses
 		if depth := s.cfg.MutationQueueDepth; depth > 0 && int(sess.waiters.Add(1)) > depth {
 			sess.waiters.Add(-1)
 			s.metrics.mutationRejected()
+			if onReject != nil {
+				onReject()
+			}
 			writeRetryAfter(w, fmt.Sprintf("session %s mutation queue is full (depth %d)", sess.id, depth))
 			return
 		}
@@ -789,8 +814,16 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		n := 0
 		inserted := make([]wal.Fact, 0, len(req.Facts))
 		for _, f := range req.Facts {
+			if f.TTL < 0 {
+				if len(inserted) > 0 {
+					s.persist(r.Context(), sess, &wal.Record{Op: wal.OpAssert, Facts: inserted})
+				}
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: ttl must be non-negative", n))
+				return
+			}
 			fields := toFields(f.Fields)
-			if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+			el, err := sess.eng.Insert(f.Template, fields)
+			if err != nil {
 				// The successfully inserted prefix is part of the session's
 				// history and must be logged even though the request fails.
 				if len(inserted) > 0 {
@@ -799,7 +832,10 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("fact %d: %v", n, err))
 				return
 			}
-			inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields)})
+			if f.TTL > 0 {
+				sess.clock.SetTTL(el, f.TTL)
+			}
+			inserted = append(inserted, wal.Fact{Template: f.Template, Fields: wal.EncodeFields(fields), TTL: f.TTL})
 			n++
 		}
 		if len(inserted) > 0 && !s.persist(r.Context(), sess, &wal.Record{Op: wal.OpAssert, Facts: inserted}) {

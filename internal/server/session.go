@@ -14,6 +14,7 @@ import (
 	"parulel/internal/match/rete"
 	"parulel/internal/match/treat"
 	"parulel/internal/obs"
+	"parulel/internal/temporal"
 	"parulel/internal/wm"
 )
 
@@ -29,6 +30,10 @@ type session struct {
 	eng     *core.Engine
 	out     *capWriter
 	created time.Time
+	// clock is the session's temporal manager: TTL expiry and window
+	// aggregates advance when a tick op or stream frame ticks it. Guarded
+	// by the session slot like the engine itself.
+	clock *temporal.Manager
 	// trace records the most recent engine cycles. Internally locked, so
 	// the trace endpoint reads it without taking the session slot.
 	trace *obs.Ring
@@ -115,6 +120,7 @@ func (s *session) info(lastUsed time.Time) sessionInfo {
 		Cycles:     res.Cycles,
 		Firings:    res.Firings,
 		Redactions: res.Redactions,
+		Tick:       s.clock.Now(),
 		Busy:       s.busy(),
 		Durable:    s.dur != nil,
 	}
@@ -156,6 +162,7 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 		eng:      eng,
 		out:      out,
 		trace:    trace,
+		clock:    temporal.New(prog, eng),
 		created:  now,
 		lastUsed: now,
 		slot:     make(chan struct{}, 1),

@@ -257,6 +257,7 @@ func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 		Runs:      sess.runs,
 		Counters:  sess.eng.Counters(),
 		Fired:     sess.eng.FiredKeys(),
+		Temporal:  sess.clock.State(),
 	}
 	t0 := time.Now()
 	err := d.checkpoint(h, sess.eng.Memory())
@@ -437,6 +438,11 @@ func (s *Server) loadSession(ctx context.Context, id string) (*session, error) {
 		if err := checkpoint.Restore(sess.eng, h, facts); err != nil {
 			return nil, err
 		}
+		// The clock image must load after the WMEs (it rebuilds its
+		// aggregate-tag mirror from them) and before any tail replay.
+		if err := sess.clock.RestoreState(h.Temporal); err != nil {
+			return nil, err
+		}
 		sess.runs = h.Runs
 	}
 
@@ -478,8 +484,14 @@ func replay(sess *session, rec *wal.Record) error {
 			if err != nil {
 				return err
 			}
-			if _, err := sess.eng.Insert(f.Template, fields); err != nil {
+			el, err := sess.eng.Insert(f.Template, fields)
+			if err != nil {
 				return fmt.Errorf("fact %d: %w", i, err)
+			}
+			if f.TTL > 0 {
+				// Re-apply the per-fact lifetime override so replayed ticks
+				// expire this fact exactly when the original ticks did.
+				sess.clock.SetTTL(el, f.TTL)
 			}
 		}
 		return nil
@@ -521,6 +533,18 @@ func replay(sess *session, rec *wal.Record) error {
 			if err := replay(sess, &rec.Ops[i]); err != nil {
 				return fmt.Errorf("batch op %d: %w", i, err)
 			}
+		}
+		return nil
+	case wal.OpTick:
+		// Expiry is deterministic: a replayed tick must land on the same
+		// clock value and expire the same number of facts the original did,
+		// or the log does not describe this state.
+		res := sess.clock.Tick()
+		if res.Now != rec.Tick {
+			return fmt.Errorf("replay diverged: tick advanced clock to %d, log recorded %d", res.Now, rec.Tick)
+		}
+		if res.Expired != rec.Count {
+			return fmt.Errorf("replay diverged: tick %d expired %d facts, log recorded %d", res.Now, res.Expired, rec.Count)
 		}
 		return nil
 	case wal.OpJob:

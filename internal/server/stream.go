@@ -1,0 +1,209 @@
+package server
+
+// POST /sessions/{id}/stream is the continuous-ingest endpoint: the
+// request body is NDJSON, one frame per line, and each frame is applied
+// as one atomic mini-batch — facts asserted (with optional TTL
+// overrides), the temporal clock ticked, and optionally the engine run
+// to quiescence — then persisted as a single wal.OpBatch frame. The
+// response is NDJSON too: one result line per applied frame, flushed
+// eagerly so a client can pace itself against the per-frame wm_size.
+//
+// Backpressure reuses the mutation admission gate: when the session's
+// queue is full the whole request fast-fails with 429 + Retry-After, so
+// a stream client ships bounded requests and retries, exactly like the
+// batch path. Once frames start flowing the response status is already
+// committed; frame-level failures surface as an in-band "error" line
+// that terminates the stream (the applied prefix stands and is logged).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"parulel/internal/wal"
+)
+
+// streamFrame is one NDJSON request line. Ticks is the number of clock
+// advances after the frame's facts land: absent means 1 (the common
+// case — a frame is a unit of stream time), 0 suppresses the tick.
+type streamFrame struct {
+	Facts     []factPayload `json:"facts,omitempty"`
+	Ticks     *int64        `json:"ticks,omitempty"`
+	Run       bool          `json:"run,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// streamFrameResult is one NDJSON response line. Frame counts from 1;
+// an Error line is terminal and may carry frame 0 when the very first
+// line failed to parse.
+type streamFrameResult struct {
+	Frame    int          `json:"frame"`
+	Asserted int          `json:"asserted,omitempty"`
+	Tick     int64        `json:"tick,omitempty"`
+	Expired  int          `json:"expired,omitempty"`
+	Run      *runResponse `json:"run,omitempty"`
+	WMSize   int          `json:"wm_size"`
+	Error    string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// A stream may run the engine, so the whole request registers as
+	// active work: shutdown waits for it, a draining server refuses it.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.active++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		if s.draining && s.active == 0 {
+			close(s.idle)
+		}
+		s.mu.Unlock()
+	}()
+
+	s.withSessionGate(w, r, s.metrics.streamRejectedObserved, func(sess *session) {
+		schema := sess.eng.Memory().Schema()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// The exchange is full-duplex: result lines go out while request
+		// frames are still arriving. Without this, the HTTP/1 server
+		// drains the whole request body before releasing the response
+		// header, deadlocking against a client that paces its frames on
+		// our results.
+		rc := http.NewResponseController(w)
+		_ = rc.EnableFullDuplex()
+		enc := json.NewEncoder(w)
+		dec := json.NewDecoder(r.Body)
+		frame := 0
+		emit := func(res streamFrameResult) {
+			res.Frame = frame
+			res.WMSize = sess.eng.Memory().Len()
+			_ = enc.Encode(res)
+			_ = rc.Flush()
+		}
+		fail := func(format string, args ...any) {
+			emit(streamFrameResult{Error: fmt.Sprintf(format, args...)})
+		}
+
+		for {
+			var f streamFrame
+			if err := dec.Decode(&f); err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				fail("bad frame: %v", err)
+				return
+			}
+			frame++
+
+			// Structural validation before anything is applied, mirroring
+			// the batch handler's two-phase contract per frame.
+			ok := true
+			for j, fp := range f.Facts {
+				tmpl, found := schema.Lookup(fp.Template)
+				if !found {
+					fail("fact %d: unknown template %q", j, fp.Template)
+					ok = false
+					break
+				}
+				for attr := range fp.Fields {
+					if _, found := tmpl.AttrIndex(attr); !found {
+						fail("fact %d: template %s has no attribute %q", j, fp.Template, attr)
+						ok = false
+						break
+					}
+				}
+				if ok && fp.TTL < 0 {
+					fail("fact %d: ttl must be non-negative", j)
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+			if f.Ticks != nil && *f.Ticks < 0 {
+				fail("ticks must be non-negative")
+				return
+			}
+
+			var recs []wal.Record
+			sink := func(rec *wal.Record) bool {
+				recs = append(recs, *rec)
+				return true
+			}
+
+			inserted := make([]wal.Fact, 0, len(f.Facts))
+			for j, fp := range f.Facts {
+				fields := toFields(fp.Fields)
+				el, err := sess.eng.Insert(fp.Template, fields)
+				if err != nil {
+					if len(inserted) > 0 {
+						sink(&wal.Record{Op: wal.OpAssert, Facts: inserted})
+						s.persist(r.Context(), sess, &wal.Record{Op: wal.OpBatch, Ops: recs})
+					}
+					fail("fact %d: %v", j, err)
+					return
+				}
+				if fp.TTL > 0 {
+					sess.clock.SetTTL(el, fp.TTL)
+				}
+				inserted = append(inserted, wal.Fact{Template: fp.Template, Fields: wal.EncodeFields(fields), TTL: fp.TTL})
+			}
+			if len(inserted) > 0 {
+				sink(&wal.Record{Op: wal.OpAssert, Facts: inserted})
+			}
+
+			ticks := int64(1)
+			if f.Ticks != nil {
+				ticks = *f.Ticks
+			}
+			res := streamFrameResult{Asserted: len(inserted), Tick: sess.clock.Now()}
+			for k := int64(0); k < ticks; k++ {
+				t := sess.clock.Tick()
+				res.Tick = t.Now
+				res.Expired += t.Expired
+				sink(&wal.Record{Op: wal.OpTick, Tick: t.Now, Count: t.Expired})
+			}
+
+			if f.Run {
+				timeout := s.clampTimeout(f.TimeoutMS)
+				ctx, cancel := context.WithTimeout(r.Context(), timeout)
+				ticket := s.runQueue.admitForce(sess.id)
+				s.metrics.runStarted()
+				out := s.driveRun(ctx, sess, ticket, sink)
+				ticket.done()
+				cancel()
+				s.countRunOutcome(out)
+				resp := out.resp
+				res.Run = &resp
+				if out.err != nil {
+					// The frame's mutations and committed cycles stand; log
+					// them, report the error, end the stream.
+					if len(recs) > 0 {
+						s.persist(r.Context(), sess, &wal.Record{Op: wal.OpBatch, Ops: recs})
+					}
+					fail("run: %v", out.err)
+					return
+				}
+			}
+
+			if len(recs) > 0 && !s.persist(r.Context(), sess, &wal.Record{Op: wal.OpBatch, Ops: recs}) {
+				fail("frame applied in memory but not durably logged")
+				return
+			}
+			s.metrics.streamFrameObserved(len(inserted))
+			s.metrics.ticksObserved(ticks, res.Expired)
+			emit(res)
+		}
+	})
+}

@@ -1,0 +1,434 @@
+// Package temporal drives a session's logical clock over a PARULEL
+// engine: TTL'd facts expire a fixed number of ticks after the clock
+// absorbs them, and sliding-window aggregates (count/sum/min/max over
+// the last N ticks or last K facts of a template, per key) are
+// maintained as ordinary working-memory elements that rules match with
+// ordinary join tests.
+//
+// Everything the clock does is deterministic given the engine's mutation
+// history: absorption scans templates in name order and facts in time-tag
+// order, expiry retracts in ascending tag order through the engine's
+// normal retraction path (so redaction and the matchers see expiry as
+// they see any other removal), and aggregate WMEs are reconciled in
+// sorted key order. A WAL replay that re-executes the same ticks against
+// the same history therefore reproduces expiry and aggregate state
+// bit-identically — expired facts stay expired.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"parulel/internal/compile"
+	"parulel/internal/core"
+	"parulel/internal/wm"
+)
+
+// trackedFact is one absorbed fact of a tracked source template.
+type trackedFact struct {
+	tag    int64
+	born   int64 // tick at which the clock absorbed the fact
+	expire int64 // tick at which it expires; 0 = never
+}
+
+// sourceState tracks the absorbed facts of one source template.
+type sourceState struct {
+	tmpl  *wm.Template
+	ttl   int64 // template-default TTL in ticks; 0 = none
+	high  int64 // highest absorbed time tag
+	facts []trackedFact
+}
+
+// Manager is the temporal clock of one engine. It is not safe for
+// concurrent use; callers serialize Tick with other engine mutations
+// (the server holds the session slot).
+type Manager struct {
+	prog      *compile.Program
+	eng       *core.Engine
+	now       int64
+	sources   map[string]*sourceState
+	order     []string // source template names, sorted
+	overrides map[int64]int64
+	// aggTags mirrors the live aggregate WMEs per window: key value →
+	// time tag. Rebuilt from working memory on restore.
+	aggTags []map[wm.Value]int64
+}
+
+// New returns a clock for the engine. Programs without temporal
+// declarations get a clock that merely counts ticks (per-fact TTL
+// overrides can still attach templates dynamically).
+func New(prog *compile.Program, eng *core.Engine) *Manager {
+	m := &Manager{
+		prog:      prog,
+		eng:       eng,
+		sources:   make(map[string]*sourceState),
+		overrides: make(map[int64]int64),
+	}
+	if t := prog.Temporal; t != nil {
+		for _, spec := range t.TTLs {
+			m.source(spec.Tmpl).ttl = spec.Ticks
+		}
+		for _, spec := range t.Windows {
+			m.source(spec.Source)
+		}
+		m.aggTags = make([]map[wm.Value]int64, len(t.Windows))
+		for i := range m.aggTags {
+			m.aggTags[i] = make(map[wm.Value]int64)
+		}
+	}
+	return m
+}
+
+// source returns the tracking state for a template, creating it (and
+// keeping the iteration order sorted) on first use.
+func (m *Manager) source(t *wm.Template) *sourceState {
+	if s, ok := m.sources[t.Name]; ok {
+		return s
+	}
+	s := &sourceState{tmpl: t}
+	m.sources[t.Name] = s
+	i := sort.SearchStrings(m.order, t.Name)
+	m.order = append(m.order, "")
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = t.Name
+	return s
+}
+
+// Now returns the current logical tick.
+func (m *Manager) Now() int64 { return m.now }
+
+// Tracked returns the number of currently tracked (absorbed, unexpired)
+// facts across all source templates.
+func (m *Manager) Tracked() int {
+	n := 0
+	for _, s := range m.sources {
+		n += len(s.facts)
+	}
+	return n
+}
+
+// SetTTL overrides the lifetime of one asserted fact: it expires ttl
+// ticks after the next tick absorbs it. The override wins over the
+// template default; it is consumed at absorption. Facts of templates
+// with no temporal declaration become tracked by this call.
+func (m *Manager) SetTTL(w *wm.WME, ttl int64) {
+	if ttl <= 0 {
+		return
+	}
+	m.source(w.Tmpl)
+	m.overrides[w.Time] = ttl
+}
+
+// TickResult reports what one tick did.
+type TickResult struct {
+	// Now is the clock value after the tick.
+	Now int64
+	// Expired counts facts retracted by this tick.
+	Expired int
+	// AggChanged counts window aggregate WMEs inserted or retracted.
+	AggChanged int
+}
+
+// Tick advances the clock by one: newly arrived facts of tracked
+// templates are absorbed (born this tick, expiry stamped from the
+// per-fact override or the template default), due facts are retracted
+// through the engine in ascending tag order, and window aggregates are
+// refreshed. The retractions and insertions land in the engine's
+// pending delta; the next run's match phase sees them like any other
+// mutation.
+func (m *Manager) Tick() TickResult {
+	m.now++
+	mem := m.eng.Memory()
+
+	// Absorb: templates in name order, facts in tag order.
+	for _, name := range m.order {
+		s := m.sources[name]
+		for _, w := range mem.OfTemplate(name) {
+			if w.Time <= s.high {
+				continue
+			}
+			ttl := s.ttl
+			if o, ok := m.overrides[w.Time]; ok {
+				ttl = o
+				delete(m.overrides, w.Time)
+			}
+			exp := int64(0)
+			if ttl > 0 {
+				exp = m.now + ttl
+			}
+			s.facts = append(s.facts, trackedFact{tag: w.Time, born: m.now, expire: exp})
+			s.high = w.Time
+		}
+	}
+
+	// Expire: prune facts rules have already removed, collect due tags,
+	// retract ascending.
+	var due []int64
+	for _, name := range m.order {
+		s := m.sources[name]
+		kept := s.facts[:0]
+		for _, f := range s.facts {
+			if _, live := mem.Get(f.tag); !live {
+				continue
+			}
+			if f.expire > 0 && f.expire <= m.now {
+				due = append(due, f.tag)
+				continue
+			}
+			kept = append(kept, f)
+		}
+		s.facts = kept
+	}
+	expired := m.eng.RetractBatch(due)
+
+	changed := 0
+	if t := m.prog.Temporal; t != nil {
+		for i, spec := range t.Windows {
+			changed += m.refreshWindow(&spec, m.aggTags[i])
+		}
+	}
+	return TickResult{Now: m.now, Expired: expired, AggChanged: changed}
+}
+
+// agg accumulates one key's window aggregate.
+type agg struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	float bool
+	any   bool
+	min   wm.Value
+	max   wm.Value
+}
+
+func (a *agg) add(v wm.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	if v.Kind == wm.KindFloat {
+		if !a.float {
+			a.float = true
+			a.sumF = float64(a.sumI)
+		}
+	}
+	if a.float {
+		a.sumF += v.AsFloat()
+	} else {
+		a.sumI += v.I
+	}
+	if !a.any {
+		a.any = true
+		a.min, a.max = v, v
+		return
+	}
+	if v.AsFloat() < a.min.AsFloat() {
+		a.min = v
+	}
+	if v.AsFloat() > a.max.AsFloat() {
+		a.max = v
+	}
+}
+
+func (a *agg) sum() wm.Value {
+	if !a.any {
+		return wm.Nil()
+	}
+	if a.float {
+		return wm.Float(a.sumF)
+	}
+	return wm.Int(a.sumI)
+}
+
+// refreshWindow recomputes one window's per-key aggregates and
+// reconciles them with the live aggregate WMEs: unchanged keys are left
+// alone (no WM churn at quiescence), changed keys are retract+insert,
+// vanished keys are retracted. Keys are visited in sorted value order.
+func (m *Manager) refreshWindow(spec *compile.WindowSpec, cur map[wm.Value]int64) int {
+	mem := m.eng.Memory()
+	s := m.sources[spec.Source.Name]
+
+	aggs := make(map[wm.Value]*agg)
+	var keys []wm.Value
+	visit := func(f trackedFact) {
+		w, ok := mem.Get(f.tag)
+		if !ok {
+			return
+		}
+		key := w.Fields[spec.KeyField]
+		a := aggs[key]
+		if a == nil {
+			a = &agg{}
+			aggs[key] = a
+			keys = append(keys, key)
+		}
+		a.count++
+		if spec.ValField >= 0 {
+			a.add(w.Fields[spec.ValField])
+		}
+	}
+	if spec.Ticks > 0 {
+		floor := m.now - spec.Ticks
+		for _, f := range s.facts {
+			if f.born > floor {
+				visit(f)
+			}
+		}
+	} else {
+		// Last-K per key: count occurrences per key first, then visit
+		// only each key's trailing K facts (s.facts is tag-ascending).
+		total := make(map[wm.Value]int64)
+		for _, f := range s.facts {
+			if w, ok := mem.Get(f.tag); ok {
+				total[w.Fields[spec.KeyField]]++
+			}
+		}
+		seen := make(map[wm.Value]int64)
+		for _, f := range s.facts {
+			w, ok := mem.Get(f.tag)
+			if !ok {
+				continue
+			}
+			key := w.Fields[spec.KeyField]
+			seen[key]++
+			if seen[key] > total[key]-spec.Last {
+				visit(f)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+
+	changed := 0
+	for _, key := range keys {
+		a := aggs[key]
+		fields := []wm.Value{key, wm.Int(a.count), a.sum(), a.min, a.max}
+		if tag, ok := cur[key]; ok {
+			if w, live := mem.Get(tag); live {
+				if fieldsEqual(w.Fields, fields) {
+					continue
+				}
+				m.eng.Retract(tag)
+				changed++
+			}
+			delete(cur, key)
+		}
+		cur[key] = m.eng.InsertFields(spec.Agg, fields).Time
+		changed++
+	}
+	if len(cur) > len(keys) {
+		stale := make([]wm.Value, 0, len(cur)-len(keys))
+		for key := range cur {
+			if aggs[key] == nil {
+				stale = append(stale, key)
+			}
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i].Compare(stale[j]) < 0 })
+		for _, key := range stale {
+			if tag := cur[key]; m.eng.Retract(tag) {
+				changed++
+			}
+			delete(cur, key)
+		}
+	}
+	return changed
+}
+
+func fieldsEqual(a, b []wm.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- checkpoint state ----
+
+// State is the clock's checkpointable image. Field order and slice
+// ordering are deterministic (sources and overrides sorted, facts in
+// absorption order), so identical clock states serialize to identical
+// bytes — the checkpoint layer depends on that for byte-identical
+// snapshots across kill and restart.
+type State struct {
+	Now       int64         `json:"now"`
+	Sources   []SourceState `json:"sources,omitempty"`
+	Overrides []Override    `json:"overrides,omitempty"`
+}
+
+// SourceState is the tracking state of one source template.
+type SourceState struct {
+	Tmpl  string      `json:"tmpl"`
+	High  int64       `json:"high,omitempty"`
+	Facts []FactState `json:"facts,omitempty"`
+}
+
+// FactState is one tracked fact.
+type FactState struct {
+	Tag    int64 `json:"tag"`
+	Born   int64 `json:"born"`
+	Expire int64 `json:"expire,omitempty"`
+}
+
+// Override is a pending per-fact TTL override (asserted, not yet
+// absorbed).
+type Override struct {
+	Tag int64 `json:"tag"`
+	TTL int64 `json:"ttl"`
+}
+
+// State exports the clock for a checkpoint header.
+func (m *Manager) State() *State {
+	if m.now == 0 && len(m.sources) == 0 && len(m.overrides) == 0 {
+		return nil
+	}
+	st := &State{Now: m.now}
+	for _, name := range m.order {
+		s := m.sources[name]
+		ss := SourceState{Tmpl: name, High: s.high}
+		for _, f := range s.facts {
+			ss.Facts = append(ss.Facts, FactState{Tag: f.tag, Born: f.born, Expire: f.expire})
+		}
+		st.Sources = append(st.Sources, ss)
+	}
+	for tag, ttl := range m.overrides {
+		st.Overrides = append(st.Overrides, Override{Tag: tag, TTL: ttl})
+	}
+	sort.Slice(st.Overrides, func(i, j int) bool { return st.Overrides[i].Tag < st.Overrides[j].Tag })
+	return st
+}
+
+// RestoreState reloads a checkpointed clock image and rebuilds the
+// aggregate-tag mirror from the restored working memory. It must run
+// after the engine's WMEs are restored and before any WAL tail replay.
+func (m *Manager) RestoreState(st *State) error {
+	if st == nil {
+		return nil
+	}
+	m.now = st.Now
+	for _, ss := range st.Sources {
+		tmpl, ok := m.prog.Schema.Lookup(ss.Tmpl)
+		if !ok {
+			return fmt.Errorf("temporal: restore of unknown template %q", ss.Tmpl)
+		}
+		s := m.source(tmpl)
+		s.high = ss.High
+		s.facts = s.facts[:0]
+		for _, f := range ss.Facts {
+			s.facts = append(s.facts, trackedFact{tag: f.Tag, born: f.Born, expire: f.Expire})
+		}
+	}
+	for _, o := range st.Overrides {
+		m.overrides[o.Tag] = o.TTL
+	}
+	if t := m.prog.Temporal; t != nil {
+		mem := m.eng.Memory()
+		for i, spec := range t.Windows {
+			for _, w := range mem.OfTemplate(spec.Agg.Name) {
+				m.aggTags[i][w.Fields[0]] = w.Time
+			}
+		}
+	}
+	return nil
+}

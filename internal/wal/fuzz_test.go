@@ -25,6 +25,7 @@ func FuzzReplay(f *testing.F) {
 	f.Add(append(frame(`{"seq":1,"op":"assert"}`), 0xff, 0xff, 0xff, 0xff)) // huge bogus length
 	f.Add(frame(`not json`))
 	f.Add(frame(`{"seq":0,"op":"run"}`)) // non-monotonic seq
+	f.Add(frame(`{"seq":1,"op":"tick","tick":5,"count":2}`))
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 'x'})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -47,6 +48,51 @@ func FuzzReplay(f *testing.F) {
 		}
 		if len(res2.Records) != len(res.Records) {
 			t.Fatalf("second scan saw %d records, first saw %d", len(res2.Records), len(res.Records))
+		}
+	})
+}
+
+// FuzzTickRecord round-trips the temporal OpTick record through the log
+// for arbitrary clock values and expiry counts — replay verifies both
+// fields against the live tick, so a lossy encoding of any value
+// (extremes, negatives a corrupted log might carry) would surface as
+// spurious divergence. Ticks are exercised both standalone (the batch
+// endpoint's framing) and nested in an OpBatch (the stream endpoint's).
+func FuzzTickRecord(f *testing.F) {
+	f.Add(int64(1), 0)
+	f.Add(int64(0), -1)
+	f.Add(int64(1)<<62, 1<<30)
+	f.Add(int64(-7), 3)
+	f.Fuzz(func(t *testing.T, tick int64, count int) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, _, err := Open(path, Options{})
+		if err != nil {
+			t.Skip()
+		}
+		if err := l.Append(&Record{Op: OpTick, Tick: tick, Count: count}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(&Record{Op: OpBatch, Ops: []Record{{Op: OpTick, Tick: tick, Count: count}}}); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+
+		_, res, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if len(res.Records) != 2 {
+			t.Fatalf("scan saw %d records, want 2", len(res.Records))
+		}
+		got := res.Records[0]
+		if got.Op != OpTick || got.Tick != tick || got.Count != count {
+			t.Fatalf("tick record corrupted: got op %q tick %d count %d, want tick %d count %d",
+				got.Op, got.Tick, got.Count, tick, count)
+		}
+		batch := res.Records[1]
+		if batch.Op != OpBatch || len(batch.Ops) != 1 ||
+			batch.Ops[0].Tick != tick || batch.Ops[0].Count != count {
+			t.Fatalf("nested tick record corrupted: %+v", batch)
 		}
 	})
 }

@@ -54,6 +54,13 @@ const (
 	// the job registry — a job whose last logged status is "queued" was in
 	// flight at the crash and surfaces as "interrupted".
 	OpJob = "job"
+	// OpTick advances the session's temporal clock by one: TTL'd facts are
+	// absorbed, due facts expire (engine-driven retracts through the
+	// normal redaction path) and window aggregates refresh. Tick is the
+	// resulting clock value and Count the number of facts expired; both
+	// are verified on replay — expiry is deterministic, so a replayed tick
+	// that expires a different set of facts is divergence, not drift.
+	OpTick = "tick"
 )
 
 // Record is one logged operation. Exactly the fields relevant to Op are
@@ -89,15 +96,23 @@ type Record struct {
 	// OpBatch: the nested operations, applied in order on replay.
 	Ops []Record `json:"ops,omitempty"`
 
+	// OpTick: the temporal clock value after the tick (Count above holds
+	// the number of facts the tick expired).
+	Tick int64 `json:"tick,omitempty"`
+
 	// OpJob.
 	Job       string `json:"job,omitempty"`
 	JobStatus string `json:"job_status,omitempty"`
 }
 
-// Fact is one asserted working-memory element.
+// Fact is one asserted working-memory element. TTL, when positive,
+// overrides the template's default lifetime for this fact: it expires
+// TTL ticks after the temporal clock absorbs it. Replay re-applies the
+// same override, so expiry reproduces identically after recovery.
 type Fact struct {
 	Template string           `json:"template"`
 	Fields   map[string]Value `json:"fields,omitempty"`
+	TTL      int64            `json:"ttl,omitempty"`
 }
 
 // Value is the log's exact encoding of a wm.Value. Floats are stored as

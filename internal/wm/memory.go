@@ -128,6 +128,34 @@ func (m *Memory) OfTemplate(template string) []*WME {
 // one, i.e. the highest tag handed out so far.
 func (m *Memory) NextTime() int64 { return m.nextTime }
 
+// CheckTagInvariant verifies the time-tag monotonicity invariant: every
+// live tag is positive and at or below the high water mark (the counter
+// never rewound past a handed-out tag), and the per-template index
+// agrees exactly with the primary index. The engines maintain this
+// implicitly; rehydration and temporal expiry splice tags in and out
+// explicitly, so checkpointing asserts it before trusting a snapshot.
+func (m *Memory) CheckTagInvariant() error {
+	count := 0
+	for tag, w := range m.byTime {
+		if tag <= 0 || tag > m.nextTime {
+			return fmt.Errorf("wm: live tag %d outside (0, high water %d]", tag, m.nextTime)
+		}
+		if w.Time != tag {
+			return fmt.Errorf("wm: WME indexed at %d carries tag %d", tag, w.Time)
+		}
+		if m.byTmpl[w.Tmpl][tag] != w {
+			return fmt.Errorf("wm: tag %d missing from template index %q", tag, w.Tmpl.Name)
+		}
+	}
+	for _, class := range m.byTmpl {
+		count += len(class)
+	}
+	if count != len(m.byTime) {
+		return fmt.Errorf("wm: template indexes hold %d WMEs, primary index %d", count, len(m.byTime))
+	}
+	return nil
+}
+
 // SetNextTime advances the time-tag counter so the next insertion
 // receives tag n+1. It only moves forward: recovery restores the
 // counter a checkpoint recorded, and rewinding would mint duplicate
@@ -143,11 +171,19 @@ func (m *Memory) SetNextTime(n int64) {
 // monotonically, but a recovered working memory must reproduce the exact
 // tags the crashed process assigned (meta-rules observe them via `(tag
 // <i>)`, and gensym values derive from them). The counter advances past
-// the restored tag. Reusing a live tag or a non-positive one is an
-// error.
+// the restored tag.
+//
+// Restored tags must themselves arrive in strictly increasing order: a
+// tag at or below the high water mark — even one whose WME has since
+// been removed or expired — would re-enter the memory out of recency
+// order and silently corrupt refraction keys and conflict resolution,
+// so it is rejected rather than trusted.
 func (m *Memory) InsertAt(template string, fields map[string]Value, time int64) (*WME, error) {
 	if time <= 0 {
 		return nil, fmt.Errorf("wm: restore with non-positive time tag %d", time)
+	}
+	if time <= m.nextTime {
+		return nil, fmt.Errorf("wm: restore time tag %d violates monotonicity (high water %d)", time, m.nextTime)
 	}
 	if _, dup := m.byTime[time]; dup {
 		return nil, fmt.Errorf("wm: restore reuses live time tag %d", time)

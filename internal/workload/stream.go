@@ -1,0 +1,101 @@
+package workload
+
+// Stream workloads for the temporal subsystem: continuous fact arrival
+// with TTL expiry and sliding-window rules. Both generators are frame
+// oriented — one frame is the unit of stream time (one temporal tick) —
+// and fully deterministic given (seed, frame), so a replayed or
+// restarted stream regenerates identical facts.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parulel/internal/wm"
+)
+
+// FraudStreamProgram is the fraud-detection stream application:
+// transactions expire six ticks after absorption, a per-card sliding
+// window counts the live transactions of the last six ticks, and a card
+// whose window holds more than three transactions is flagged once.
+// Flags persist (bounded by the card population), transactions are
+// TTL-evicted, so working memory stays bounded no matter how many
+// transactions stream through.
+const FraudStreamProgram = `
+(literalize txn id card amount state)
+(literalize flag card n)
+(ttl txn 6)
+(window cardwin txn ^key card ^ticks 6 ^val amount)
+(rule flag-burst
+  (cardwin ^key <c> ^count <n>)
+  (test (> <n> 3))
+  - (flag ^card <c>)
+-->
+  (make flag ^card <c> ^n <n>))
+(rule settle
+  <t> <- (txn ^id <i> ^state new)
+-->
+  (modify <t> ^state settled))
+`
+
+// FraudTxns returns one frame of the fraud stream: `count` transactions
+// spread over `cards` cards. Most draws are uniform; a rotating hot card
+// (advancing every four frames) receives every fourth transaction, so
+// its six-tick window reliably crosses the burst threshold while the
+// rest stay under it.
+func FraudTxns(frame, count, cards int, seed int64) []map[string]wm.Value {
+	rng := rand.New(rand.NewSource(seed + int64(frame)*7919))
+	hot := (frame / 4) % cards
+	out := make([]map[string]wm.Value, count)
+	for i := range out {
+		card := rng.Intn(cards)
+		if i%4 == 0 {
+			card = hot
+		}
+		out[i] = map[string]wm.Value{
+			"id":     wm.Int(int64(frame*count + i)),
+			"card":   wm.Sym(fmt.Sprintf("card-%03d", card)),
+			"amount": wm.Int(int64(1 + rng.Intn(500))),
+			"state":  wm.Sym("new"),
+		}
+	}
+	return out
+}
+
+// EventMonitorProgram is the sensor-monitoring stream application:
+// readings live four ticks, a per-sensor window aggregates the last
+// five readings, and a sensor whose windowed maximum crosses the
+// threshold raises an alarm that auto-clears by TTL ten ticks later —
+// the alarm lifecycle is driven entirely by the temporal clock.
+const EventMonitorProgram = `
+(literalize reading id sensor val)
+(literalize alarm sensor peak)
+(ttl reading 4)
+(ttl alarm 10)
+(window sensorwin reading ^key sensor ^last 5 ^val val)
+(rule raise-alarm
+  (sensorwin ^key <s> ^max <m>)
+  (test (> <m> 95))
+  - (alarm ^sensor <s>)
+-->
+  (make alarm ^sensor <s> ^peak <m>))
+`
+
+// EventReadings returns one frame of the monitor stream: `count`
+// readings over `sensors` sensors, values mostly in [0, 90] with a
+// deterministic ~3% of spikes above the alarm threshold.
+func EventReadings(frame, count, sensors int, seed int64) []map[string]wm.Value {
+	rng := rand.New(rand.NewSource(seed + int64(frame)*6151))
+	out := make([]map[string]wm.Value, count)
+	for i := range out {
+		val := int64(rng.Intn(91))
+		if rng.Intn(32) == 0 {
+			val = int64(96 + rng.Intn(20))
+		}
+		out[i] = map[string]wm.Value{
+			"id":     wm.Int(int64(frame*count + i)),
+			"sensor": wm.Sym(fmt.Sprintf("sensor-%02d", rng.Intn(sensors))),
+			"val":    wm.Int(val),
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Command paperrun drives the paper experiment grid and turns the merged
+// BENCH_*.json document into validated CSV tables.
+//
+// Two modes:
+//
+//	paperrun -grid scripts/paper/experiments.json -parbench bin -out dir [-quick]
+//	    run every grid entry (exec'ing parbench), merging the -json runs
+//	    into dir/json/BENCH_results.json and capturing table output under
+//	    dir/logs/, then generate + validate CSVs under dir/csv/.
+//
+//	paperrun -in BENCH_after.json -out dir
+//	    skip running; regenerate + validate CSVs from an existing document.
+//
+// Validation is the point: a document that parses but carries a vacuous
+// evaluation (no results, zero wall times, an unbounded stream) fails the
+// run, so CI and the paper pipeline can gate on exit status alone.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+
+	"parulel/internal/bench"
+)
+
+// grid mirrors scripts/paper/experiments.json.
+type grid struct {
+	Schema  string      `json:"schema"`
+	Repeats int         `json:"repeats"`
+	Runs    []gridEntry `json:"runs"`
+}
+
+type gridEntry struct {
+	Name  string   `json:"name"`
+	About string   `json:"about,omitempty"`
+	Args  []string `json:"args"`
+	Log   string   `json:"log,omitempty"`   // table output captured here (under logs/)
+	Merge string   `json:"merge,omitempty"` // document key the -json run merges under
+}
+
+// benchFile is the merged shape of a BENCH_*.json document: the suite
+// doc at the top level plus the ablation documents parbench merges in.
+type benchFile struct {
+	bench.JSONDoc
+	Eval    *bench.EvalDoc    `json:"eval,omitempty"`
+	Serve   *bench.ServeDoc   `json:"serve,omitempty"`
+	Stream  *bench.StreamDoc  `json:"stream,omitempty"`
+	Cluster *bench.ClusterDoc `json:"cluster,omitempty"`
+}
+
+func main() {
+	gridPath := flag.String("grid", "", "experiment grid JSON; required unless -in is given")
+	parbench := flag.String("parbench", "", "parbench binary to exec for grid runs")
+	in := flag.String("in", "", "existing BENCH_*.json document: skip running, just CSV + validate")
+	out := flag.String("out", "", "output directory (json/, csv/, logs/ created inside)")
+	quick := flag.Bool("quick", false, "pass -quick to every parbench invocation")
+	flag.Parse()
+
+	if *out == "" {
+		fatal("need -out directory")
+	}
+	for _, d := range []string{"csv", "json", "logs"} {
+		if err := os.MkdirAll(filepath.Join(*out, d), 0o755); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	docPath := *in
+	if docPath == "" {
+		if *gridPath == "" || *parbench == "" {
+			fatal("need -grid and -parbench (or -in to skip running)")
+		}
+		docPath = filepath.Join(*out, "json", "BENCH_results.json")
+		if err := runGrid(*gridPath, *parbench, *out, docPath, *quick); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	doc, err := loadDoc(docPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := writeCSVs(doc, filepath.Join(*out, "csv")); err != nil {
+		fatal("%v", err)
+	}
+	if errs := validate(doc); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "paperrun: VALIDATION: %v\n", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("paperrun: document %s valid, CSVs in %s\n", docPath, filepath.Join(*out, "csv"))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperrun: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runGrid(gridPath, parbench, out, docPath string, quick bool) error {
+	raw, err := os.ReadFile(gridPath)
+	if err != nil {
+		return err
+	}
+	var g grid
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return fmt.Errorf("%s: %w", gridPath, err)
+	}
+	if g.Schema != "parulel-paper-grid/v1" {
+		return fmt.Errorf("%s: unknown grid schema %q", gridPath, g.Schema)
+	}
+	repeats := max(g.Repeats, 1)
+	for _, entry := range g.Runs {
+		for r := 1; r <= repeats; r++ {
+			args := append([]string{}, entry.Args...)
+			if quick {
+				args = append(args, "-quick")
+			}
+			if entry.Merge != "" {
+				// All -json runs merge into one document; parbench's
+				// read-merge-write keeps earlier sections intact.
+				args = append(args, "-out", docPath)
+			}
+			logName := entry.Log
+			if logName == "" {
+				logName = entry.Name + ".txt"
+			}
+			if repeats > 1 {
+				logName = fmt.Sprintf("%s-r%d%s", entry.Name, r, filepath.Ext(logName))
+			}
+			logFile, err := os.Create(filepath.Join(out, "logs", logName))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("==> %s (repeat %d/%d): parbench %v\n", entry.Name, r, repeats, args)
+			cmd := exec.Command(parbench, args...)
+			cmd.Stdout = logFile
+			cmd.Stderr = logFile
+			runErr := cmd.Run()
+			logFile.Close()
+			if runErr != nil {
+				return fmt.Errorf("grid entry %s: %w (see logs/%s)", entry.Name, runErr, logName)
+			}
+		}
+	}
+	return nil
+}
+
+func loadDoc(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func i64(v int64) string    { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func writeCSVs(doc *benchFile, dir string) error {
+	if len(doc.Results) > 0 {
+		rows := make([][]string, 0, len(doc.Results))
+		for _, r := range doc.Results {
+			rows = append(rows, []string{
+				r.Workload, r.Matcher, itoa(r.Workers), itoa(r.Cycles), itoa(r.Firings),
+				itoa(r.Redactions), itoa(r.WriteConflicts), itoa(r.WMSize),
+				i64(r.WallNS), i64(r.MatchNS), i64(r.RedactNS), i64(r.FireNS), i64(r.ApplyNS),
+				ftoa(r.PotentialSpeedup),
+			})
+		}
+		if err := writeCSV(dir, "results.csv", []string{
+			"workload", "matcher", "workers", "cycles", "firings", "redactions",
+			"write_conflicts", "wm_size", "wall_ns", "match_ns", "redact_ns",
+			"fire_ns", "apply_ns", "potential_speedup",
+		}, rows); err != nil {
+			return err
+		}
+	}
+	if doc.Eval != nil {
+		rows := make([][]string, 0, len(doc.Eval.Results))
+		for _, r := range doc.Eval.Results {
+			rows = append(rows, []string{
+				r.Workload, itoa(r.Exprs),
+				i64(r.InterpEvalNS), i64(r.BytecodeEvalNS), ftoa(r.EvalSpeedup),
+				i64(r.InterpWallNS), i64(r.BytecodeWallNS), ftoa(r.RunSpeedup),
+			})
+		}
+		if err := writeCSV(dir, "eval.csv", []string{
+			"workload", "exprs", "interp_eval_ns", "bytecode_eval_ns", "eval_speedup",
+			"interp_wall_ns", "bytecode_wall_ns", "run_speedup",
+		}, rows); err != nil {
+			return err
+		}
+	}
+	if doc.Serve != nil {
+		row := func(mode string, r bench.ServeRun) []string {
+			return []string{
+				mode, itoa(r.Requests), ftoa(r.RequestsPerSec),
+				itoa(r.Mutations), ftoa(r.MutationsPerSec),
+				itoa(r.Errors5xx), itoa(r.Rejected429),
+			}
+		}
+		if err := writeCSV(dir, "serve.csv", []string{
+			"mode", "requests", "requests_per_sec", "mutations", "mutations_per_sec",
+			"errors_5xx", "rejected_429",
+		}, [][]string{row("single_op", doc.Serve.SingleOp), row("batched", doc.Serve.Batched)}); err != nil {
+			return err
+		}
+	}
+	if doc.Stream != nil {
+		s := doc.Stream
+		if err := writeCSV(dir, "stream.csv", []string{
+			"frames", "facts_per_frame", "facts_streamed", "ticks", "expired",
+			"peak_wm", "final_wm", "wall_ms", "facts_per_sec", "wm_bound_ratio",
+		}, [][]string{{
+			itoa(s.Frames), itoa(s.FactsPerFrame), itoa(s.FactsStreamed),
+			i64(s.Ticks), itoa(s.Expired), itoa(s.PeakWM), itoa(s.FinalWM),
+			i64(s.WallMS), ftoa(s.FactsPerSec), ftoa(s.WMBoundRatio),
+		}}); err != nil {
+			return err
+		}
+	}
+	if doc.Cluster != nil {
+		row := func(r bench.ClusterRun) []string {
+			return []string{
+				itoa(r.Nodes), itoa(r.Requests), ftoa(r.RequestsPerSec),
+				itoa(r.Mutations), ftoa(r.MutationsPerSec),
+				itoa(r.Errors5xx), itoa(r.Rejected429), itoa(r.TransportErrors),
+			}
+		}
+		if err := writeCSV(dir, "cluster.csv", []string{
+			"nodes", "requests", "requests_per_sec", "mutations", "mutations_per_sec",
+			"errors_5xx", "rejected_429", "transport_errors",
+		}, [][]string{row(doc.Cluster.SingleNode), row(doc.Cluster.ThreeNode)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate rejects documents that parsed but describe a vacuous or broken
+// evaluation. Sections are optional (a partial rerun is fine); whatever is
+// present must be internally sound.
+func validate(doc *benchFile) []error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if doc.Schema != "" && doc.Schema != "parulel-bench/v1" {
+		bad("suite: unknown schema %q", doc.Schema)
+	}
+	for _, r := range doc.Results {
+		if r.WallNS <= 0 || r.Cycles <= 0 {
+			bad("suite: %s/%s: zero wall time or cycles", r.Workload, r.Matcher)
+		}
+	}
+	if doc.Eval != nil {
+		if len(doc.Eval.Results) == 0 {
+			bad("eval: no rows")
+		}
+		for _, r := range doc.Eval.Results {
+			if r.InterpEvalNS <= 0 || r.BytecodeEvalNS <= 0 {
+				bad("eval: %s: zero eval time", r.Workload)
+			}
+		}
+	}
+	if doc.Serve != nil {
+		if doc.Serve.SingleOp.Requests <= 0 || doc.Serve.Batched.Requests <= 0 {
+			bad("serve: zero requests")
+		}
+		if doc.Serve.SingleOp.Errors5xx > 0 || doc.Serve.Batched.Errors5xx > 0 {
+			bad("serve: 5xx errors under load")
+		}
+	}
+	if doc.Stream != nil {
+		s := doc.Stream
+		switch {
+		case s.FactsStreamed <= 0:
+			bad("stream: no facts streamed")
+		case s.Expired <= 0:
+			bad("stream: TTL eviction never fired")
+		case s.PeakWM <= 0:
+			bad("stream: peak WM unrecorded")
+		case s.PeakWM >= s.FactsStreamed:
+			bad("stream: WM not bounded (peak %d >= streamed %d)", s.PeakWM, s.FactsStreamed)
+		}
+	}
+	if doc.Cluster != nil {
+		if doc.Cluster.SingleNode.Requests <= 0 || doc.Cluster.ThreeNode.Requests <= 0 {
+			bad("cluster: zero requests")
+		}
+		if doc.Cluster.ThreeNode.Errors5xx > 0 {
+			bad("cluster: 5xx errors under load")
+		}
+	}
+	return errs
+}

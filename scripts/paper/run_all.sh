@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate the full reconstructed evaluation (E1-E14) in one command.
+#
+#   bash scripts/paper/run_all.sh           # full sizes (minutes)
+#   bash scripts/paper/run_all.sh -quick    # reduced sizes (seconds, smoke)
+#
+# Produces paper_runs/<utc-stamp>/ with:
+#   json/BENCH_results.json   merged machine-readable document
+#   csv/*.csv                 validated per-section tables
+#   logs/*.txt                raw experiment-table output per grid entry
+#
+# The grid itself lives in scripts/paper/experiments.json; the runner and
+# CSV generator/validator is the Go tool in scripts/paper/paperrun (no
+# python or jq required). To re-derive CSVs from an existing document
+# without rerunning anything:
+#
+#   go run ./scripts/paper/paperrun -in BENCH_after.json -out paper_runs/from-after
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+stamp=$(date -u +%Y-%m-%d_%H%M%S)
+outdir="paper_runs/${stamp}"
+mkdir -p "$outdir"
+
+echo "==> building parbench"
+go build -o "$outdir/parbench" ./cmd/parbench
+
+echo "==> running grid into $outdir"
+go run ./scripts/paper/paperrun \
+  -grid scripts/paper/experiments.json \
+  -parbench "$outdir/parbench" \
+  -out "$outdir" \
+  "$@"
+
+echo "==> done: $outdir"
