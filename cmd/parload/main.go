@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -89,6 +90,18 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "parload: %d requests, %.1f mutations/sec, %d 5xx, %d 429, %d transport errors, %d redirects, %d retries\n",
 		rep.Requests, rep.MutationsPerSec, rep.Errors5xx, rep.Rejected429, rep.TransportErrors, rep.Redirects, rep.Retries)
+	if len(rep.Stages) > 0 {
+		stages := make([]string, 0, len(rep.Stages))
+		for name := range rep.Stages {
+			stages = append(stages, name)
+		}
+		sort.Strings(stages)
+		for _, name := range stages {
+			st := rep.Stages[name]
+			fmt.Fprintf(os.Stderr, "parload: stage %-8s p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms (%d samples)\n",
+				name, st.P50MS, st.P95MS, st.P99MS, st.MaxMS, st.Count)
+		}
+	}
 
 	if *max5xx >= 0 && rep.Errors5xx > *max5xx {
 		fail("self-check: %d 5xx responses (limit %d)", rep.Errors5xx, *max5xx)

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"io"
@@ -50,6 +51,9 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint a session after this many WAL records")
 	traceCycles := flag.Int("trace-cycles", 512, "per-session cycle-trace ring size served at /sessions/{id}/trace")
+	spanCapacity := flag.Int("span-capacity", 0, "per-node span ring size served at /debug/spans (0 = default 4096)")
+	slowRequest := flag.Duration("slow-request", time.Second, "capture requests at least this slow into the flight recorder (negative = disabled)")
+	flightSize := flag.Int("flight-recorder", 0, "slow-request flight-recorder ring size (0 = default 64)")
 	clusterNode := flag.String("cluster-node", "", "this node's name in -cluster-peers; empty = single-node mode")
 	clusterPeers := flag.String("cluster-peers", "", "full static member list: name=peerAddr=publicURL,... (must include this node)")
 	peerAddr := flag.String("peer-addr", "", "peer-protocol listen address (empty = this node's address from -cluster-peers)")
@@ -104,23 +108,26 @@ func main() {
 		}
 	}
 	cfg := server.Config{
-		MaxSessions:        *maxSessions,
-		IdleTTL:            *idleTTL,
-		MaxConcurrentRuns:  *maxRuns,
-		MaxInflightRuns:    *maxInflight,
-		MutationQueueDepth: *queueDepth,
-		RunSlice:           *runSlice,
-		DefaultRunTimeout:  *runTimeout,
-		MaxRunTimeout:      *maxRunTimeout,
-		DefaultWorkers:     *workers,
-		EvalMode:           evalMode,
-		DataDir:            *dataDir,
-		Fsync:              policy,
-		FsyncInterval:      *fsyncInterval,
-		CheckpointEvery:    *checkpointEvery,
-		TraceCycles:        *traceCycles,
-		Cluster:            clusterCfg,
-		Logger:             logger,
+		MaxSessions:          *maxSessions,
+		IdleTTL:              *idleTTL,
+		MaxConcurrentRuns:    *maxRuns,
+		MaxInflightRuns:      *maxInflight,
+		MutationQueueDepth:   *queueDepth,
+		RunSlice:             *runSlice,
+		DefaultRunTimeout:    *runTimeout,
+		MaxRunTimeout:        *maxRunTimeout,
+		DefaultWorkers:       *workers,
+		EvalMode:             evalMode,
+		DataDir:              *dataDir,
+		Fsync:                policy,
+		FsyncInterval:        *fsyncInterval,
+		CheckpointEvery:      *checkpointEvery,
+		TraceCycles:          *traceCycles,
+		SpanCapacity:         *spanCapacity,
+		SlowRequestThreshold: *slowRequest,
+		FlightRecorderSize:   *flightSize,
+		Cluster:              clusterCfg,
+		Logger:               logger,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -155,6 +162,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps the slow-request flight recorder (trace ids, stage
+	// spans) to stderr without stopping the daemon — the classic "what was
+	// slow just now" black-box pull.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			recs := srv.FlightRecords()
+			logger.Info("flight recorder dump", "records", len(recs))
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(recs)
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -63,13 +63,14 @@ func (pc *peerConn) send(typ byte, v any) (Ack, error) {
 
 func (pc *peerConn) close() { pc.c.Close() }
 
-// hello opens a purpose-scoped stream on a fresh connection.
-func (c *Client) hello(addr, purpose, session string) (*peerConn, error) {
+// hello opens a purpose-scoped stream on a fresh connection. trace, when
+// non-empty, stamps the stream with the opening request's trace context.
+func (c *Client) hello(addr, purpose, session, trace string) (*peerConn, error) {
 	pc, err := dialPeer(addr, c.timeout)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := pc.send(frameHello, Hello{Node: c.node, Purpose: purpose, Session: session}); err != nil {
+	if _, err := pc.send(frameHello, Hello{Node: c.node, Purpose: purpose, Session: session, Trace: trace}); err != nil {
 		pc.close()
 		return nil, fmt.Errorf("cluster: hello to %s: %w", addr, err)
 	}
@@ -86,7 +87,7 @@ func (c *Client) controlConn(addr string) (*peerConn, error) {
 	if pc != nil {
 		return pc, nil
 	}
-	return c.hello(addr, PurposeControl, "")
+	return c.hello(addr, PurposeControl, "", "")
 }
 
 func (c *Client) releaseControl(addr string, pc *peerConn, err error) {
@@ -143,8 +144,9 @@ func (c *Client) SendDrop(m Member, session string) error {
 
 // Migrate transfers one session's state to a peer and waits for it to
 // install and activate it. On a nil return the target owns the session.
-func (c *Client) Migrate(m Member, session string, st SessionState) error {
-	pc, err := c.hello(m.PeerAddr, PurposeMigrate, session)
+// trace carries the moving request's trace context (may be empty).
+func (c *Client) Migrate(m Member, session string, st SessionState, trace string) error {
+	pc, err := c.hello(m.PeerAddr, PurposeMigrate, session, trace)
 	if err != nil {
 		return err
 	}
@@ -186,7 +188,7 @@ type ReplStream struct {
 // of the session and installs st. The single ack after the sync barrier
 // confirms the replica is caught up.
 func (c *Client) OpenReplStream(m Member, session string, st SessionState) (*ReplStream, error) {
-	pc, err := c.hello(m.PeerAddr, PurposeReplicate, session)
+	pc, err := c.hello(m.PeerAddr, PurposeReplicate, session, "")
 	if err != nil {
 		return nil, err
 	}
@@ -203,9 +205,11 @@ func (c *Client) OpenReplStream(m Member, session string, st SessionState) (*Rep
 }
 
 // SendRecord streams one WAL record; the returned ack makes it durable
-// on the replica per that node's fsync policy.
-func (r *ReplStream) SendRecord(rec *wal.Record) error {
-	_, err := r.pc.send(frameRecord, rec)
+// on the replica per that node's fsync policy. trace, when non-empty,
+// carries the producing request's trace context so the replica's apply
+// work joins the distributed trace.
+func (r *ReplStream) SendRecord(rec *wal.Record, trace string) error {
+	_, err := r.pc.send(frameRecord, recordEnvelope{Record: *rec, Trace: trace})
 	return err
 }
 

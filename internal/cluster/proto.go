@@ -62,6 +62,11 @@ type Hello struct {
 	Purpose string `json:"purpose"`
 	// Session scopes replicate and migrate streams.
 	Session string `json:"session,omitempty"`
+	// Trace carries the distributed-trace context (obs.TraceContext
+	// string form) of the request that opened the stream, so a migration
+	// triggered by a traced POST /cluster/move shows up in the assembled
+	// trace. Additive: absent on the wire from older nodes.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Ping is a control heartbeat. It piggybacks the sender's route-override
@@ -157,13 +162,23 @@ func readAck(r io.Reader) (Ack, error) {
 	return a, nil
 }
 
-// decodeRecord decodes a Record frame payload.
-func decodeRecord(payload []byte) (*wal.Record, error) {
-	var rec wal.Record
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return nil, fmt.Errorf("cluster: decoding record frame: %w", err)
+// recordEnvelope is a Record frame payload: the WAL record's own JSON
+// plus an optional trace context for the mutation that produced it. The
+// extra field is additive — a node that predates it simply ignores it —
+// and it is stripped before the record reaches the replica's log.
+type recordEnvelope struct {
+	wal.Record
+	Trace string `json:"trace,omitempty"`
+}
+
+// decodeRecord decodes a Record frame payload, returning the record and
+// the sender's trace context (empty for untraced mutations).
+func decodeRecord(payload []byte) (*wal.Record, string, error) {
+	var env recordEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, "", fmt.Errorf("cluster: decoding record frame: %w", err)
 	}
-	return &rec, nil
+	return &env.Record, env.Trace, nil
 }
 
 // ErrStreamClosed reports an orderly remote close of a peer stream.

@@ -24,8 +24,9 @@ type Backend interface {
 	OpenReplica(session string) (Replica, error)
 	// InstallMigrated writes a transferred session's state into the local
 	// session store and activates it. A non-nil error refuses the cutover
-	// and must leave no trace of the session behind.
-	InstallMigrated(session string, st SessionState) error
+	// and must leave no trace of the session behind. trace is the moving
+	// request's trace context (may be empty).
+	InstallMigrated(session string, st SessionState, trace string) error
 	// HandleMoved merges one routing override learned from a peer.
 	HandleMoved(m Moved)
 	// HandlePing merges the pinging node's override table.
@@ -38,8 +39,9 @@ type Backend interface {
 // Replica is a follower's handle on one session's replica store.
 type Replica interface {
 	// AppendRecord appends one primary WAL record, preserving its
-	// sequence number.
-	AppendRecord(rec *wal.Record) error
+	// sequence number. trace is the producing request's trace context
+	// (obs.TraceContext string form; empty for untraced mutations).
+	AppendRecord(rec *wal.Record, trace string) error
 	// PutCheckpoint atomically replaces the replica's checkpoint image.
 	PutCheckpoint(image []byte) error
 	// Reset truncates the replica's log (covered by the checkpoint).
@@ -251,10 +253,10 @@ func (s *PeerServer) serveReplicate(c net.Conn, br *bufio.Reader, h Hello) {
 		var seq uint64
 		switch typ {
 		case frameRecord:
-			rec, derr := decodeRecord(payload)
+			rec, trace, derr := decodeRecord(payload)
 			if derr == nil {
 				seq = rec.Seq
-				derr = rep.AppendRecord(rec)
+				derr = rep.AppendRecord(rec, trace)
 			}
 			err = derr
 		case frameCheckpoint:
@@ -295,7 +297,7 @@ func (s *PeerServer) serveMigrate(c net.Conn, br *bufio.Reader, h Hello) {
 		return
 	}
 	c.SetDeadline(time.Now().Add(4 * s.timeout))
-	if err := s.backend.InstallMigrated(h.Session, st); err != nil {
+	if err := s.backend.InstallMigrated(h.Session, st, h.Trace); err != nil {
 		s.log.Warn("migration install refused", "session", h.Session, "node", h.Node, "err", err)
 		ackErr(c, err)
 		return

@@ -54,7 +54,7 @@ func ReadState(r io.Reader) (SessionState, error) {
 		case frameCheckpoint:
 			st.Checkpoint = payload
 		case frameRecord:
-			rec, err := decodeRecord(payload)
+			rec, _, err := decodeRecord(payload)
 			if err != nil {
 				return st, err
 			}

@@ -156,6 +156,19 @@ type OpStats struct {
 	MaxMS       float64 `json:"max_ms"`
 }
 
+// StageStats aggregates one server-side stage's time across requests, as
+// reported by the Server-Timing response header. Quantiles are over the
+// per-request stage durations (requests that skipped the stage do not
+// contribute).
+type StageStats struct {
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
 // Report is the JSON result document.
 type Report struct {
 	Config          Config             `json:"config"`
@@ -170,7 +183,40 @@ type Report struct {
 	Retries         int                `json:"retries"`          // failover re-sends after a transport error
 	Redirects       int                `json:"redirects"`        // 307 ownership redirects followed
 	Ops             map[string]OpStats `json:"ops"`
-	StatusCounts    map[string]int     `json:"status_counts"`
+	// Stages breaks request latency into the server's traced stages
+	// (queue, wal, fsync, repl, run, …) parsed from Server-Timing headers.
+	Stages       map[string]StageStats `json:"stages,omitempty"`
+	StatusCounts map[string]int        `json:"status_counts"`
+}
+
+// parseServerTiming parses a Server-Timing header value ("wal;dur=1.2,
+// run;dur=3.4") into per-stage durations, nil when absent or unparsable.
+func parseServerTiming(h string) map[string]time.Duration {
+	if h == "" {
+		return nil
+	}
+	var out map[string]time.Duration
+	for _, part := range strings.Split(h, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		if len(fields) < 2 || fields[0] == "" {
+			continue
+		}
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			if !strings.HasPrefix(f, "dur=") {
+				continue
+			}
+			var msVal float64
+			if _, err := fmt.Sscanf(f[len("dur="):], "%g", &msVal); err != nil {
+				continue
+			}
+			if out == nil {
+				out = make(map[string]time.Duration, 4)
+			}
+			out[fields[0]] += time.Duration(msVal * float64(time.Millisecond))
+		}
+	}
+	return out
 }
 
 // statusTransport is the synthetic status recorded when a request never
@@ -188,6 +234,9 @@ type sample struct {
 	facts     int // mutations this request asserted (0 unless 2xx)
 	retries   int // transport-failover re-sends within this request
 	redirects int // 307s followed within this request
+	// stages is the server-side stage breakdown from the response's
+	// Server-Timing header; nil when the server sent none.
+	stages map[string]time.Duration
 }
 
 // router maps each session to its current home endpoint. New sessions
@@ -293,8 +342,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	latencies := make(map[string][]time.Duration)
 	counts := make(map[string]*OpStats)
+	stageLat := make(map[string][]time.Duration)
 	for _, local := range perWorker {
 		for _, s := range local {
+			for stage, d := range s.stages {
+				stageLat[stage] = append(stageLat[stage], d)
+			}
 			rep.Requests++
 			rep.StatusCounts[fmt.Sprint(s.status)]++
 			st := counts[s.op]
@@ -330,6 +383,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		st.P99MS = ms(stats.Quantile(ds, 0.99))
 		st.MaxMS = ms(stats.Quantile(ds, 1))
 		rep.Ops[op] = *st
+	}
+	for stage, ds := range stageLat {
+		var total time.Duration
+		for _, d := range ds {
+			total += d
+		}
+		if rep.Stages == nil {
+			rep.Stages = make(map[string]StageStats, len(stageLat))
+		}
+		rep.Stages[stage] = StageStats{
+			Count:   len(ds),
+			TotalMS: ms(total),
+			P50MS:   ms(stats.Quantile(ds, 0.50)),
+			P95MS:   ms(stats.Quantile(ds, 0.95)),
+			P99MS:   ms(stats.Quantile(ds, 0.99)),
+			MaxMS:   ms(stats.Quantile(ds, 1)),
+		}
 	}
 	secs := elapsed.Seconds()
 	if secs > 0 {
@@ -395,7 +465,8 @@ func doOp(ctx context.Context, cfg Config, rt *router, op, sessID, key string) s
 	s := sample{op: op}
 	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
-		status, loc, err := do(ctx, cfg.Client, method, base+path, body, nil)
+		status, loc, timing, err := do(ctx, cfg.Client, method, base+path, body, nil)
+		s.stages = parseServerTiming(timing)
 		switch {
 		case err != nil:
 			// Never reached a server. Fail over once to the next endpoint:
@@ -469,7 +540,8 @@ func doStream(ctx context.Context, cfg Config, rt *router, sessID, key string) s
 	s := sample{op: "stream"}
 	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
-		status, loc, asserted, streamErr, err := doStreamRequest(ctx, cfg.Client, base+path, body)
+		status, loc, timing, asserted, streamErr, err := doStreamRequest(ctx, cfg.Client, base+path, body)
+		s.stages = parseServerTiming(timing)
 		switch {
 		case err != nil:
 			if attempt == 0 && len(cfg.BaseURLs) > 1 {
@@ -505,18 +577,18 @@ func doStream(ctx context.Context, cfg Config, rt *router, sessID, key string) s
 
 // doStreamRequest posts one NDJSON body and folds the response lines:
 // total facts asserted plus the first in-band error, if any.
-func doStreamRequest(ctx context.Context, client *http.Client, url string, body []byte) (status int, loc string, asserted int, streamErr string, err error) {
+func doStreamRequest(ctx context.Context, client *http.Client, url string, body []byte) (status int, loc, timing string, asserted int, streamErr string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, "", 0, "", err
+		return 0, "", "", 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	resp, err := client.Do(req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return 0, "", 0, "", nil
+			return 0, "", "", 0, "", nil
 		}
-		return 0, "", 0, "", err
+		return 0, "", "", 0, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 300 {
@@ -537,7 +609,7 @@ func doStreamRequest(ctx context.Context, client *http.Client, url string, body 
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header.Get("Location"), asserted, streamErr, nil
+	return resp.StatusCode, resp.Header.Get("Location"), resp.Header.Get("Server-Timing"), asserted, streamErr, nil
 }
 
 // baseOf extracts scheme://host from a redirect Location.
@@ -562,7 +634,7 @@ func createSession(ctx context.Context, cfg Config, base string) (string, error)
 	if cfg.Workers > 0 {
 		req["workers"] = cfg.Workers
 	}
-	status, _, err := do(ctx, cfg.Client, http.MethodPost, base+"/api/v1/sessions", req, &out)
+	status, _, _, err := do(ctx, cfg.Client, http.MethodPost, base+"/api/v1/sessions", req, &out)
 	if err != nil {
 		return "", err
 	}
@@ -574,19 +646,20 @@ func createSession(ctx context.Context, cfg Config, base string) (string, error)
 
 // do issues one JSON request, measuring nothing itself — callers time it.
 // The response body is always drained so connections are reused. The
-// second return is the Location header of a redirect response.
-func do(ctx context.Context, client *http.Client, method, url string, in, out any) (int, string, error) {
+// second return is the Location header of a redirect response, the third
+// the Server-Timing header.
+func do(ctx context.Context, client *http.Client, method, url string, in, out any) (int, string, string, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return 0, "", err
+			return 0, "", "", err
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return 0, "", err
+		return 0, "", "", err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -594,16 +667,16 @@ func do(ctx context.Context, client *http.Client, method, url string, in, out an
 	resp, err := client.Do(req)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return 0, "", nil
+			return 0, "", "", nil
 		}
-		return 0, "", err
+		return 0, "", "", err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, "", err
+			return resp.StatusCode, "", "", err
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header.Get("Location"), nil
+	return resp.StatusCode, resp.Header.Get("Location"), resp.Header.Get("Server-Timing"), nil
 }

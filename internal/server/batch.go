@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"parulel/internal/wal"
@@ -115,6 +116,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 		// Execute, collecting the would-be WAL records instead of appending
 		// them one by one; they land in a single OpBatch frame at the end.
+		batchSp := s.startSpan(r.Context(), stageBatch)
+		batchSp.SetAttr("ops", strconv.Itoa(len(req.Ops)))
+		defer batchSp.End()
 		var recs []wal.Record
 		sink := func(rec *wal.Record) bool {
 			recs = append(recs, *rec)
@@ -177,6 +181,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					n = 1
 				}
 				expired := 0
+				tick0 := time.Now()
 				for k := int64(0); k < n; k++ {
 					res := sess.clock.Tick()
 					expired += res.Expired
@@ -186,6 +191,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					sink(&wal.Record{Op: wal.OpTick, Tick: res.Now, Count: res.Expired})
 				}
 				result.Count = expired
+				s.recordSpan(r.Context(), batchSp.ID(), stageTick, time.Since(tick0))
 				s.metrics.ticksObserved(n, expired)
 			}
 			results = append(results, result)

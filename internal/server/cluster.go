@@ -27,10 +27,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"parulel/internal/cluster"
+	"parulel/internal/obs"
 	"parulel/internal/wal"
 )
 
@@ -217,6 +219,9 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, m cluster.Membe
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return
 	}
+	proxySp := s.startSpan(r.Context(), stageProxy)
+	proxySp.SetAttr("target", m.Name)
+	defer proxySp.End()
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, m.PublicURL+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusBadGateway, err.Error())
@@ -224,6 +229,12 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, m cluster.Membe
 	}
 	out.Header = r.Header.Clone()
 	out.Header.Set(forwardedHeader, cs.cfg.Node)
+	// Hand the trace on with this hop's proxy span as the parent, so the
+	// owner's ingress span nests under it (and the origin request id rides
+	// along for its access log).
+	if ts := s.traceString(r.Context(), proxySp.ID()); ts != "" {
+		out.Header.Set(obs.TraceHeader, ts)
+	}
 	resp, err := cs.httpc.Do(out)
 	if err != nil {
 		cs.mship.ReportFailure(m.Name)
@@ -232,6 +243,9 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, m cluster.Membe
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if k == obs.TraceHeader {
+			continue // this node's ServeHTTP already set its own
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -411,6 +425,8 @@ func (s *Server) replicate(ctx context.Context, sess *session, rec *wal.Record) 
 func (s *Server) replicateRecord(ctx context.Context, sess *session, rec *wal.Record) bool {
 	cs := s.cluster
 	failed := make(map[string]bool)
+	ackSp := s.startSpan(ctx, stageReplAck)
+	defer ackSp.End()
 	for attempt := 0; attempt < 2; attempt++ {
 		if sess.repl == nil {
 			target, ok := cs.replicaTarget(sess.id, failed)
@@ -435,6 +451,8 @@ func (s *Server) replicateRecord(ctx context.Context, sess *session, rec *wal.Re
 			sess.repl = stream
 			s.metrics.clusterReplStream()
 			s.metrics.clusterReplRecord()
+			ackSp.SetAttr("target", target.Name)
+			ackSp.SetAttr("attach", "1")
 			return true
 		}
 		if rec == nil {
@@ -442,7 +460,7 @@ func (s *Server) replicateRecord(ctx context.Context, sess *session, rec *wal.Re
 			// succeeded before this call).
 			return true
 		}
-		if err := sess.repl.SendRecord(rec); err != nil {
+		if err := sess.repl.SendRecord(rec, s.traceString(ctx, ackSp.ID())); err != nil {
 			name := sess.repl.Target.Name
 			failed[name] = true
 			cs.mship.ReportFailure(name)
@@ -453,6 +471,7 @@ func (s *Server) replicateRecord(ctx context.Context, sess *session, rec *wal.Re
 			continue
 		}
 		s.metrics.clusterReplRecord()
+		ackSp.SetAttr("target", sess.repl.Target.Name)
 		return true
 	}
 	return false
@@ -522,13 +541,32 @@ type serverReplica struct {
 
 var errReplicaFenced = errors.New("replica fenced")
 
-func (r *serverReplica) AppendRecord(rec *wal.Record) error {
+func (r *serverReplica) AppendRecord(rec *wal.Record, trace string) error {
+	t0 := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return errReplicaFenced
 	}
-	return r.log.AppendKeepSeq(rec)
+	err := r.log.AppendKeepSeq(rec)
+	r.mu.Unlock()
+	// The producing request's trace arrived with the record; record the
+	// follower-side apply into this node's span store so the assembled
+	// cluster trace shows both sides of the replication hop.
+	if tc, ok := obs.ParseTraceContext(trace); ok {
+		r.s.spans.Record(obs.Span{
+			TraceID:  tc.TraceID,
+			Parent:   tc.Parent,
+			Stage:    stageReplApply,
+			StartUNN: t0.UnixNano(),
+			DurNS:    time.Since(t0).Nanoseconds(),
+			Attrs: map[string]string{
+				"session": r.id,
+				"seq":     strconv.FormatUint(rec.Seq, 10),
+			},
+		})
+	}
+	return err
 }
 
 func (r *serverReplica) PutCheckpoint(image []byte) error {
@@ -655,9 +693,22 @@ func (b *clusterBackend) OpenReplica(id string) (cluster.Replica, error) {
 	return rep, nil
 }
 
-func (b *clusterBackend) InstallMigrated(id string, st cluster.SessionState) error {
+func (b *clusterBackend) InstallMigrated(id string, st cluster.SessionState, trace string) error {
 	s := b.s
 	cs := s.cluster
+	t0 := time.Now()
+	defer func() {
+		if tc, ok := obs.ParseTraceContext(trace); ok {
+			s.spans.Record(obs.Span{
+				TraceID:  tc.TraceID,
+				Parent:   tc.Parent,
+				Stage:    stageMigrateIn,
+				StartUNN: t0.UnixNano(),
+				DurNS:    time.Since(t0).Nanoseconds(),
+				Attrs:    map[string]string{"session": id},
+			})
+		}
+	}()
 	if s.store.has(id) {
 		return fmt.Errorf("session %s already exists on %s", id, cs.cfg.Node)
 	}
@@ -756,12 +807,16 @@ func (s *Server) migrateSession(ctx context.Context, id string, target cluster.M
 		return errors.New("session has no durable state to migrate")
 	}
 	t0 := time.Now()
+	migSp := s.startSpan(ctx, stageMigrate)
+	migSp.SetAttr("session", id)
+	migSp.SetAttr("target", target.Name)
+	defer migSp.End()
 	_ = s.checkpointSession(ctx, sess) // failure just means a longer WAL tail
 	st, err := s.diskState(sess)
 	if err != nil {
 		return err
 	}
-	if err := cs.client.Migrate(target, id, st); err != nil {
+	if err := cs.client.Migrate(target, id, st, s.traceString(ctx, migSp.ID())); err != nil {
 		cs.mship.ReportFailure(target.Name)
 		return err
 	}

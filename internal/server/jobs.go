@@ -246,7 +246,18 @@ func (s *Server) foldRecoveredJobs(sessID string, statuses map[string]string) {
 // queued marker, kick off the runner and reply 202. releaseActive is the
 // caller's drain-accounting release, handed to the runner goroutine.
 func (s *Server) startAsyncRun(w http.ResponseWriter, r *http.Request, sess *session, ticket *runTicket, timeout time.Duration, releaseActive func()) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	// The runner outlives the request, so it gets a fresh context — but
+	// one carrying the request's trace and id, so the job's spans and log
+	// lines join the originating trace. The timings accumulator is fresh:
+	// the 202 response's Server-Timing already shipped.
+	base := context.Background()
+	if ti := traceFrom(r.Context()); ti != nil {
+		base = context.WithValue(base, ctxKeyTrace, &traceInfo{trace: ti.trace, parent: ti.parent, timings: &reqTimings{}})
+	}
+	if id := RequestID(r.Context()); id != 0 {
+		base = context.WithValue(base, ctxKeyRequestID, id)
+	}
+	ctx, cancel := context.WithTimeout(base, timeout)
 	j := &job{
 		id:      newJobID(),
 		session: sess.id,
@@ -346,12 +357,15 @@ func (s *Server) finishJob(ctx context.Context, sess *session, j *job, out runOu
 	j.mu.Lock()
 	j.status = status
 	j.finished = time.Now()
+	created := j.created
 	j.cancel = nil
 	j.errMsg = msg
 	if sess != nil {
 		j.result = &resp
 	}
 	j.mu.Unlock()
+	// One span for the job's whole life, queued wait included.
+	s.recordSpan(ctx, "", stageJobRun, time.Since(created))
 	s.metrics.jobFinished(status)
 	if sess != nil {
 		s.appendJobMarker(ctx, sess, j.id, status)

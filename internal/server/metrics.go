@@ -34,6 +34,11 @@ type collector struct {
 	rules        map[string]*match.RuleProfile
 	rulesDropped uint64
 
+	// Per-stage request latency (queue wait, WAL append, fsync,
+	// replication ack, engine run, …), fed by the span store's OnRecord
+	// hook. Stage names form a small fixed set, so the map stays bounded.
+	stages map[string]*stageAgg
+
 	// Run/session counters.
 	runsStarted, runsCompleted, runTimeouts, runsCanceled, runErrors   uint64
 	sessionsCreated, sessionsEvicted, sessionsExpired, sessionsDeleted uint64
@@ -95,11 +100,18 @@ const maxRuleSeries = 256
 
 var phaseNames = [4]string{"match", "redact", "fire", "apply"}
 
+// stageAgg is one serving-path stage's latency aggregate.
+type stageAgg struct {
+	total time.Duration
+	hist  *stats.Hist
+}
+
 func newCollector() *collector {
 	c := &collector{
 		windowCap: metricsWindow,
 		fsyncHist: stats.NewHist(),
 		rules:     make(map[string]*match.RuleProfile),
+		stages:    make(map[string]*stageAgg),
 	}
 	for i := range c.hists {
 		c.hists[i] = stats.NewHist()
@@ -130,13 +142,31 @@ func (c *collector) observe(cycles []stats.Cycle) {
 	c.window.Truncate(c.windowCap)
 }
 
-// observeRules folds per-rule activity deltas into the aggregate.
-func (c *collector) observeRules(deltas []match.RuleProfile) {
+// stageObserved folds one completed span's duration into its stage's
+// latency aggregate. Wired to the span store's OnRecord hook.
+func (c *collector) stageObserved(stage string, d time.Duration) {
+	c.mu.Lock()
+	agg := c.stages[stage]
+	if agg == nil {
+		agg = &stageAgg{hist: stats.NewHist()}
+		c.stages[stage] = agg
+	}
+	agg.total += d
+	agg.hist.Observe(d)
+	c.mu.Unlock()
+}
+
+// observeRules folds per-rule activity deltas into the aggregate. The
+// return value is true exactly once — when the series cap first drops a
+// new rule name — so the caller can log one warning instead of silently
+// truncating attribution.
+func (c *collector) observeRules(deltas []match.RuleProfile) (firstDrop bool) {
 	if len(deltas) == 0 {
-		return
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	wasZero := c.rulesDropped == 0
 	for _, d := range deltas {
 		agg := c.rules[d.Rule]
 		if agg == nil {
@@ -153,6 +183,7 @@ func (c *collector) observeRules(deltas []match.RuleProfile) {
 		agg.Insts += d.Insts
 		agg.Fires += d.Fires
 	}
+	return wasZero && c.rulesDropped > 0
 }
 
 // counter bumps (each takes the lock; contention is negligible next to a
@@ -395,12 +426,16 @@ type metricsPayload struct {
 		Window stats.Summary `json:"window"`
 		// Rules attributes match and fire activity per rule, ordered by
 		// match time (then fires, then name). RulesDropped counts folds
-		// lost to the series cap.
+		// lost to the series cap (the engine.rules.dropped_series counter).
 		Rules        []match.RuleProfile `json:"rules"`
-		RulesDropped uint64              `json:"rules_dropped,omitempty"`
+		RulesDropped uint64              `json:"rules_dropped_series,omitempty"`
 	} `json:"engine"`
-	Durability *durabilityPayload `json:"durability,omitempty"`
-	Cluster    *clusterPayload    `json:"cluster,omitempty"`
+	// Stages holds per-stage request latency histograms (ingress, queue
+	// wait, WAL append, fsync, replication ack, engine run, …) fed by the
+	// distributed-tracing span store. Buckets follow engine.hist_bounds_ns.
+	Stages     map[string]phasePayload `json:"stages,omitempty"`
+	Durability *durabilityPayload      `json:"durability,omitempty"`
+	Cluster    *clusterPayload         `json:"cluster,omitempty"`
 }
 
 // snapshot renders the aggregate. live, active, onDisk, queued, inflight,
@@ -472,6 +507,16 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued,
 		return a.Rule < b.Rule
 	})
 	p.Engine.RulesDropped = c.rulesDropped
+	if len(c.stages) > 0 {
+		p.Stages = make(map[string]phasePayload, len(c.stages))
+		for name, agg := range c.stages {
+			p.Stages[name] = phasePayload{
+				TotalNS:   agg.total.Nanoseconds(),
+				HistCount: agg.hist.Total(),
+				Hist:      append([]uint64(nil), agg.hist.Counts...),
+			}
+		}
+	}
 	if c.durEnabled {
 		p.Durability = &durabilityPayload{
 			WALRecords:        c.walRecords,

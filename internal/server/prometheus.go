@@ -9,6 +9,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -147,6 +148,20 @@ func writePrometheus(w io.Writer, m metricsPayload) {
 		}
 	}
 	p.counter("parulel_rule_series_dropped_total", "Per-rule profile folds dropped by the series cap.", float64(m.Engine.RulesDropped))
+
+	if len(m.Stages) > 0 {
+		p.header("parulel_stage_seconds", "Request-stage latency by traced serving stage.", "histogram")
+		names := make([]string, 0, len(m.Stages))
+		for name := range m.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := m.Stages[name]
+			labels := `stage="` + promEscape(name) + `"`
+			p.histogram("parulel_stage_seconds", labels, boundsNS, st.Hist, float64(st.TotalNS)/1e9, st.HistCount)
+		}
+	}
 
 	if d := m.Durability; d != nil {
 		p.counter("parulel_wal_records_total", "WAL records appended.", float64(d.WALRecords))

@@ -33,6 +33,7 @@ import (
 	"parulel/internal/cluster"
 	"parulel/internal/compile"
 	"parulel/internal/core"
+	"parulel/internal/obs"
 	"parulel/internal/programs"
 	"parulel/internal/snapshot"
 	"parulel/internal/wal"
@@ -103,6 +104,16 @@ type Config struct {
 	// TraceCycles bounds each session's in-memory cycle-trace ring served
 	// at GET /api/v1/sessions/{id}/trace. Default 512.
 	TraceCycles int
+	// SpanCapacity bounds the node's distributed-tracing span store
+	// served at GET /debug/spans. Default 4096.
+	SpanCapacity int
+	// SlowRequestThreshold is the latency beyond which a request's full
+	// span tree is captured into the flight recorder (GET
+	// /debug/flightrecorder, dumped on SIGQUIT by cmd/paruleld). Default
+	// 1s; negative disables capture.
+	SlowRequestThreshold time.Duration
+	// FlightRecorderSize bounds the flight-recorder ring. Default 64.
+	FlightRecorderSize int
 	// Cluster, when non-nil, joins this node to a static cluster: the
 	// consistent-hash ring shards the session-id keyspace across members,
 	// non-owned requests are proxied or redirected, each session's WAL
@@ -163,6 +174,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceCycles <= 0 {
 		c.TraceCycles = 512
 	}
+	if c.SpanCapacity <= 0 {
+		c.SpanCapacity = obs.DefaultSpanCapacity
+	}
+	if c.SlowRequestThreshold == 0 {
+		c.SlowRequestThreshold = time.Second
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = obs.DefaultFlightRecorderCapacity
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -179,6 +199,8 @@ type Server struct {
 	start    time.Time
 	store    *store        // nil when durability is disabled
 	cluster  *clusterState // nil when not in cluster mode
+	spans    *obs.SpanStore
+	flight   *obs.FlightRecorder
 
 	reqID atomic.Uint64 // monotonically increasing request ids
 
@@ -213,6 +235,15 @@ func New(cfg Config) (*Server, error) {
 		idle:        make(chan struct{}),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+		flight:      obs.NewFlightRecorder(cfg.FlightRecorderSize),
+	}
+	node := ""
+	if cfg.Cluster != nil {
+		node = cfg.Cluster.Node
+	}
+	s.spans = obs.NewSpanStore(node, cfg.SpanCapacity)
+	s.spans.OnRecord = func(sp obs.Span) {
+		s.metrics.stageObserved(sp.Stage, time.Duration(sp.DurNS))
 	}
 	if cfg.DataDir != "" {
 		walOpts := wal.Options{
@@ -245,7 +276,10 @@ func New(cfg Config) (*Server, error) {
 // ctxKey keys the values the request middleware stashes in the context.
 type ctxKey int
 
-const ctxKeyRequestID ctxKey = iota
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTrace
+)
 
 // RequestID extracts the server-assigned request id, or 0 when ctx did
 // not pass through ServeHTTP (internal work like the janitor).
@@ -264,13 +298,23 @@ func (s *Server) log(ctx context.Context) *slog.Logger {
 	return s.cfg.Logger
 }
 
-// statusWriter records the status code for the access log.
+// statusWriter records the status code for the access log and injects
+// the Server-Timing header — the stage durations accumulated so far —
+// just before the response commits.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	timings *reqTimings
+	wrote   bool
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.wrote = true
+		if h := sw.timings.header(); h != "" {
+			sw.ResponseWriter.Header().Set("Server-Timing", h)
+		}
+	}
 	sw.status = code
 	sw.ResponseWriter.WriteHeader(code)
 }
@@ -289,28 +333,66 @@ func (sw *statusWriter) Flush() {
 // Unwrap lets http.NewResponseController reach the underlying writer.
 func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
-// ServeHTTP implements http.Handler. Every request is assigned an id,
+// ServeHTTP implements http.Handler. Every request is assigned an id
+// and a trace context — both adopted from the X-Parulel-Trace header
+// when a peer or trace-aware client sent one, so a proxied request logs
+// the same request id on every hop and its spans share one trace id —
 // propagated via context into handler log lines, and finished with one
-// structured access record.
+// structured access record, an ingress span, and (when the request was
+// slow) a flight-recorder capture.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := s.reqID.Add(1)
-	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+	tc, carried := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	id := tc.ReqID
+	if id == 0 {
+		id = s.reqID.Add(1)
+	}
+	if !carried {
+		tc = obs.TraceContext{TraceID: obs.NewTraceID(), ReqID: id}
+	}
+	ingress := s.spans.Start(tc.TraceID, tc.Parent, stageIngress)
+	ingress.SetAttr("method", r.Method)
+	ingress.SetAttr("path", r.URL.Path)
+	ti := &traceInfo{trace: tc.TraceID, parent: ingress.ID(), timings: &reqTimings{}}
+	ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+	r = r.WithContext(context.WithValue(ctx, ctxKeyTrace, ti))
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, timings: ti.timings}
+	// Echo the trace on the response so clients (and the smoke tests)
+	// learn the trace id, and so a client following a 307 redirect can
+	// re-send the header and keep the trace stitched.
+	w.Header().Set(obs.TraceHeader, obs.TraceContext{TraceID: tc.TraceID, Parent: ingress.ID(), ReqID: id}.String())
 	t0 := time.Now()
 	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(t0)
+	ingress.SetAttr("status", strconv.Itoa(sw.status))
+	ingress.EndWith(dur)
+	if thr := s.cfg.SlowRequestThreshold; thr > 0 && dur >= thr {
+		s.flight.Record(obs.FlightRecord{
+			TraceID:     tc.TraceID,
+			Method:      r.Method,
+			Path:        r.URL.Path,
+			Status:      sw.status,
+			DurNS:       dur.Nanoseconds(),
+			CapturedUNN: time.Now().UnixNano(),
+			Spans:       s.spans.Query(tc.TraceID, "", 0, 0),
+		})
+	}
 	s.cfg.Logger.Info("request",
 		"request_id", id,
+		"trace_id", tc.TraceID,
 		"method", r.Method,
 		"path", r.URL.Path,
 		"status", sw.status,
-		"duration_ms", time.Since(t0).Milliseconds())
+		"duration_ms", dur.Milliseconds())
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/spans", s.handleDebugSpans)
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("GET /cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("GET /cluster/trace/{trace}", s.handleClusterTrace)
 	s.mux.HandleFunc("POST /cluster/move", s.handleClusterMove)
 	s.mux.HandleFunc("GET /api/v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
@@ -537,7 +619,10 @@ func (s *Server) withSessionGate(w http.ResponseWriter, r *http.Request, onRejec
 			writeRetryAfter(w, fmt.Sprintf("session %s mutation queue is full (depth %d)", sess.id, depth))
 			return
 		}
-		if err := sess.acquire(r.Context()); err != nil {
+		waitSp := s.startSpan(r.Context(), stageSessionWait)
+		err := sess.acquire(r.Context())
+		waitSp.End()
+		if err != nil {
 			sess.waiters.Add(-1)
 			writeError(w, http.StatusServiceUnavailable, "session busy: "+err.Error())
 			return
@@ -940,8 +1025,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// driveRun — the same lock order as batches and jobs. A session evicted
 	// while we waited is looked up once more, so durability can rehydrate
 	// it transparently.
+	waitSp := s.startSpan(ctx, stageSessionWait)
 	for attempt := 0; ; attempt++ {
 		if err := sess.acquire(ctx); err != nil {
+			waitSp.End()
 			s.metrics.runTimeout()
 			writeError(w, http.StatusGatewayTimeout, "timed out waiting for the session: "+err.Error())
 			return
@@ -958,6 +1045,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	waitSp.End()
 	defer sess.release()
 
 	out := s.driveRun(ctx, sess, ticket, s.immediateSink(ctx, sess))
@@ -1030,13 +1118,19 @@ func (s *Server) driveRun(ctx context.Context, sess *session, ticket *runTicket,
 		prevStats = len(before.Stats.Cycles)
 	}
 	sess.out.take() // reset output buffer
+	runSp := s.startSpan(ctx, stageEngineRun)
+	phBefore, _ := sess.phases.Snapshot()
+	var queueWait time.Duration
 	t0 := time.Now()
 	res := before
 	persisted := true
 	lastCycles := before.Cycles
 	var runErr error
 	for {
-		if err := ticket.acquire(ctx); err != nil {
+		qt0 := time.Now()
+		err := ticket.acquire(ctx)
+		queueWait += time.Since(qt0)
+		if err != nil {
 			runErr = fmt.Errorf("%w: waiting for an engine slot: %w", core.ErrCanceled, err)
 			res = sess.eng.CurrentResult()
 			break
@@ -1062,13 +1156,31 @@ func (s *Server) driveRun(ctx context.Context, sess *session, ticket *runTicket,
 	wall := time.Since(t0)
 	sess.lastResult = res
 
+	// Emit the run's span tree: queue.wait and the per-phase engine time
+	// (diffed from the session's cumulative accumulator) as children of
+	// engine.run. No-ops on untraced contexts.
+	runSp.SetAttr("session", sess.id)
+	runSp.SetAttr("cycles", strconv.Itoa(res.Cycles-before.Cycles))
+	s.recordSpan(ctx, runSp.ID(), stageQueueWait, queueWait)
+	phAfter, _ := sess.phases.Snapshot()
+	phDelta := phAfter.Sub(phBefore)
+	for i, st := range enginePhaseStages {
+		s.recordSpan(ctx, runSp.ID(), st, phDelta[i])
+	}
+	runSp.EndWith(wall)
+
 	// Fold the new cycle records into /metrics regardless of outcome.
 	if res.Stats != nil && len(res.Stats.Cycles) > prevStats {
 		s.metrics.observe(res.Stats.Cycles[prevStats:])
 		sess.statCycles = len(res.Stats.Cycles)
 	}
-	// Likewise the per-rule profile deltas accumulated by this run.
-	s.metrics.observeRules(sess.profileDeltas())
+	// Likewise the per-rule profile deltas accumulated by this run. The
+	// first time the per-rule series cap drops a rule, say so once — the
+	// truncation is otherwise invisible in /metrics.
+	if s.metrics.observeRules(sess.profileDeltas()) {
+		s.cfg.Logger.Warn("per-rule metrics series cap reached; further rules aggregate into engine.rules.dropped_series",
+			"cap", maxRuleSeries)
+	}
 
 	output, trunc := sess.out.take()
 	resp := runResponse{

@@ -37,6 +37,10 @@ type session struct {
 	// trace records the most recent engine cycles. Internally locked, so
 	// the trace endpoint reads it without taking the session slot.
 	trace *obs.Ring
+	// phases accumulates cumulative per-phase engine time; driveRun diffs
+	// snapshots around a run to emit engine.* child spans for the
+	// distributed trace. Internally locked.
+	phases *obs.PhaseAccum
 
 	// dur is the session's durability handle; nil when the server runs
 	// without a data directory.
@@ -145,13 +149,14 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 	}
 	out := &capWriter{limit: outputCap}
 	trace := obs.NewRing(traceCycles)
+	phases := &obs.PhaseAccum{}
 	eng := core.New(prog, core.Options{
 		Workers:        workers,
 		Matcher:        factory,
 		Output:         out,
 		MaxCycles:      maxCycles,
 		NoInitialFacts: restore,
-		Tracer:         trace,
+		Tracer:         obs.Multi(trace, phases),
 		EvalMode:       evalMode,
 	})
 	return &session{
@@ -162,6 +167,7 @@ func newSession(id, programName string, prog *compile.Program, workers int, matc
 		eng:      eng,
 		out:      out,
 		trace:    trace,
+		phases:   phases,
 		clock:    temporal.New(prog, eng),
 		created:  now,
 		lastUsed: now,

@@ -164,6 +164,17 @@ func (d *durable) append(rec *wal.Record) error {
 	return nil
 }
 
+// lastFsync reports (and clears) the duration of the fsync issued by the
+// most recent append, zero when the sync policy batches syncs elsewhere.
+func (d *durable) lastFsync() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
+	return d.log.TakeLastFsync()
+}
+
 // due reports whether enough records accumulated to warrant a checkpoint.
 func (d *durable) due(every int) bool {
 	d.mu.Lock()
@@ -288,7 +299,15 @@ func (s *Server) persist(ctx context.Context, sess *session, rec *wal.Record) bo
 	if d == nil {
 		return true
 	}
+	appendSp := s.startSpan(ctx, stageWALAppend)
 	err := d.append(rec)
+	appendSp.End()
+	// Attribute the inline fsync (PolicyAlways) as a child of the append
+	// that issued it; batched sync policies run their syncs elsewhere and
+	// report zero here.
+	if fs := d.lastFsync(); fs > 0 {
+		s.recordSpan(ctx, appendSp.ID(), stageWALFsync, fs)
+	}
 	if err == nil {
 		if d.due(s.cfg.CheckpointEvery) && s.checkpointSession(ctx, sess) == nil {
 			// The checkpoint compacted rec into the state image and mirrored

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"parulel/internal/wal"
 )
@@ -82,7 +84,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		dec := json.NewDecoder(r.Body)
 		frame := 0
+		var frameSp *reqSpan
 		emit := func(res streamFrameResult) {
+			// Every frame outcome — success or in-band error — emits
+			// exactly one line, so the frame span ends here (idempotent,
+			// nil before the first frame decodes).
+			frameSp.End()
 			res.Frame = frame
 			res.WMSize = sess.eng.Memory().Len()
 			_ = enc.Encode(res)
@@ -102,6 +109,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			frame++
+			// One span per applied frame (decode wait excluded — idle time
+			// between frames is the client's, not ours).
+			frameSp = s.startSpan(r.Context(), stageStreamFrame)
+			frameSp.SetAttr("frame", strconv.Itoa(frame))
 
 			// Structural validation before anything is applied, mirroring
 			// the batch handler's two-phase contract per frame.
@@ -168,11 +179,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				ticks = *f.Ticks
 			}
 			res := streamFrameResult{Asserted: len(inserted), Tick: sess.clock.Now()}
+			tick0 := time.Now()
 			for k := int64(0); k < ticks; k++ {
 				t := sess.clock.Tick()
 				res.Tick = t.Now
 				res.Expired += t.Expired
 				sink(&wal.Record{Op: wal.OpTick, Tick: t.Now, Count: t.Expired})
+			}
+			if ticks > 0 {
+				s.recordSpan(r.Context(), frameSp.ID(), stageTick, time.Since(tick0))
 			}
 
 			if f.Run {

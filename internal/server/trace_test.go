@@ -1,0 +1,367 @@
+package server
+
+// Distributed-tracing tests: the cross-node trace assembled for a
+// proxied request, trace-header adoption, the /debug/spans filters, the
+// Server-Timing response header, and the slow-request flight recorder.
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"parulel/internal/obs"
+)
+
+// postRaw issues one JSON POST with http.DefaultClient and returns the
+// raw response; unlike call() it exposes response headers. An optional
+// X-Parulel-Trace header is attached when trace is non-empty.
+func postRaw(t *testing.T, url, body, trace string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// spansByStage indexes an assembled trace for assertions.
+func spansByStage(spans []obs.Span) map[string][]obs.Span {
+	m := make(map[string][]obs.Span)
+	for _, sp := range spans {
+		m[sp.Stage] = append(m[sp.Stage], sp)
+	}
+	return m
+}
+
+// TestClusterTracePropagation is the acceptance path: a run through a
+// non-owner node must produce ONE trace whose spans — fetched assembled
+// from a third node — cover ingress on both hops, the proxy leg, the
+// owner's session/queue waits, WAL append+fsync, the replication
+// round-trip, and the engine run, with consistent parent/child edges.
+func TestClusterTracePropagation(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+
+	info := createSession(t, tc.url("n0"), createSessionRequest{Source: recoverySrc})
+	if home := sessionHome(info.ID); home != "n0" {
+		t.Fatalf("session landed on %s, want n0", home)
+	}
+	assertTasks(t, tc.url("n0")+"/api/v1/sessions/"+info.ID, 0, 8)
+
+	// The traced request: run via n1, which does not own the session and
+	// must proxy to n0.
+	resp := postRaw(t, tc.url("n1")+"/api/v1/sessions/"+info.ID+"/run", "{}", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied run: status %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get(obs.TraceHeader)
+	rtc, ok := obs.ParseTraceContext(hdr)
+	if !ok {
+		t.Fatalf("response %s header %q does not parse", obs.TraceHeader, hdr)
+	}
+	if rtc.Parent == "" {
+		t.Fatalf("response trace header %q carries no ingress span id", hdr)
+	}
+
+	// n1's ingress span is recorded just after the response commits, so
+	// poll the assembled trace (via n2, a third party to the request)
+	// until every required stage is present.
+	required := []string{
+		stageIngress, stageProxy, stageSessionWait, stageQueueWait,
+		stageWALAppend, stageWALFsync, stageReplAck, stageEngineRun,
+	}
+	var asm clusterTraceResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		asm = clusterTraceResponse{}
+		st := call(t, "GET", tc.url("n2")+"/cluster/trace/"+rtc.TraceID, nil, &asm)
+		if st != http.StatusOK {
+			t.Fatalf("cluster trace: status %d", st)
+		}
+		missing := ""
+		byStage := spansByStage(asm.Spans)
+		for _, stg := range required {
+			if len(byStage[stg]) == 0 {
+				missing = stg
+				break
+			}
+		}
+		if missing == "" && len(byStage[stageIngress]) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("assembled trace never complete: missing %q, ingress spans %d, spans %+v",
+				missing, len(byStage[stageIngress]), asm.Spans)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if asm.TraceID != rtc.TraceID {
+		t.Fatalf("trace id %q, want %q", asm.TraceID, rtc.TraceID)
+	}
+	if len(asm.Nodes) < 2 {
+		t.Fatalf("trace assembled from %v, want spans from at least 2 nodes", asm.Nodes)
+	}
+	if len(asm.Unreachable) != 0 {
+		t.Fatalf("unreachable peers %v with all nodes up", asm.Unreachable)
+	}
+	for _, sp := range asm.Spans {
+		if sp.TraceID != rtc.TraceID {
+			t.Fatalf("span %+v carries foreign trace id", sp)
+		}
+	}
+
+	byStage := spansByStage(asm.Spans)
+
+	// The edge chain: client → n1 ingress (root) → proxy → n0 ingress →
+	// engine.run → engine phases; wal.append → wal.fsync; repl.ack →
+	// repl.apply on the follower.
+	var root obs.Span
+	for _, sp := range byStage[stageIngress] {
+		if sp.Parent == "" {
+			root = sp
+		}
+	}
+	if root.SpanID == "" {
+		t.Fatalf("no root ingress span (empty parent) in %+v", byStage[stageIngress])
+	}
+	if root.Node != "n1" {
+		t.Fatalf("root ingress recorded on %q, want n1 (the node the client hit)", root.Node)
+	}
+	if root.SpanID != rtc.Parent {
+		t.Fatalf("response header parent %q is not the root ingress span %q", rtc.Parent, root.SpanID)
+	}
+
+	proxy := byStage[stageProxy][0]
+	if proxy.Node != "n1" || proxy.Parent != root.SpanID {
+		t.Fatalf("proxy span %+v: want node n1 parented to root ingress %s", proxy, root.SpanID)
+	}
+
+	var ownerIngress obs.Span
+	for _, sp := range byStage[stageIngress] {
+		if sp.Node == "n0" {
+			ownerIngress = sp
+		}
+	}
+	if ownerIngress.SpanID == "" {
+		t.Fatalf("no ingress span on the owner node in %+v", byStage[stageIngress])
+	}
+	if ownerIngress.Parent != proxy.SpanID {
+		t.Fatalf("owner ingress parent %q, want the proxy span %q", ownerIngress.Parent, proxy.SpanID)
+	}
+
+	run := byStage[stageEngineRun][0]
+	if run.Node != "n0" || run.Parent != ownerIngress.SpanID {
+		t.Fatalf("engine.run span %+v: want node n0 parented to owner ingress %s", run, ownerIngress.SpanID)
+	}
+	if run.Attrs["session"] != info.ID {
+		t.Fatalf("engine.run session attr %q, want %q", run.Attrs["session"], info.ID)
+	}
+	if byStage[stageQueueWait][0].Parent != run.SpanID {
+		t.Fatalf("queue.wait parent %q, want engine.run span %q", byStage[stageQueueWait][0].Parent, run.SpanID)
+	}
+
+	app := byStage[stageWALAppend][0]
+	if app.Node != "n0" || app.Parent != ownerIngress.SpanID {
+		t.Fatalf("wal.append span %+v: want node n0 parented to owner ingress %s", app, ownerIngress.SpanID)
+	}
+	fsyncParents := map[string]bool{}
+	for _, sp := range byStage[stageWALAppend] {
+		fsyncParents[sp.SpanID] = true
+	}
+	if fs := byStage[stageWALFsync][0]; !fsyncParents[fs.Parent] {
+		t.Fatalf("wal.fsync parent %q is not a wal.append span", fs.Parent)
+	}
+
+	ack := byStage[stageReplAck][0]
+	if ack.Node != "n0" || ack.Parent != ownerIngress.SpanID {
+		t.Fatalf("repl.ack span %+v: want node n0 parented to owner ingress %s", ack, ownerIngress.SpanID)
+	}
+	ackIDs := map[string]bool{}
+	for _, sp := range byStage[stageReplAck] {
+		ackIDs[sp.SpanID] = true
+	}
+	if applies := byStage[stageReplApply]; len(applies) > 0 {
+		apply := applies[0]
+		if apply.Node == "n0" {
+			t.Fatalf("repl.apply recorded on the primary: %+v", apply)
+		}
+		if !ackIDs[apply.Parent] {
+			t.Fatalf("repl.apply parent %q is not a repl.ack span", apply.Parent)
+		}
+	} else {
+		t.Fatalf("no repl.apply span from the follower in %+v", asm.Spans)
+	}
+}
+
+// TestTraceHeaderAdoption: a client-supplied trace context is adopted —
+// same trace id and request id on the response — instead of minted anew.
+func TestTraceHeaderAdoption(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	sent := obs.TraceContext{TraceID: trace, Parent: "00f067aa0ba902b7", ReqID: 0xdeadbeef}
+	resp := postRaw(t, ts.URL+"/api/v1/sessions", `{"program":"quickstart"}`, sent.String())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	echo, ok := obs.ParseTraceContext(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("response header %q does not parse", resp.Header.Get(obs.TraceHeader))
+	}
+	if echo.TraceID != trace {
+		t.Fatalf("response trace id %q, want the carried %q", echo.TraceID, trace)
+	}
+	if echo.ReqID != 0xdeadbeef {
+		t.Fatalf("response request id %#x, want the carried 0xdeadbeef", echo.ReqID)
+	}
+
+	// The ingress span parents to the caller's span, completing the edge
+	// from the upstream hop.
+	spans := s.spans.Query(trace, stageIngress, 0, 0)
+	if len(spans) != 1 {
+		t.Fatalf("want 1 ingress span for the carried trace, got %+v", spans)
+	}
+	if spans[0].Parent != sent.Parent {
+		t.Fatalf("ingress parent %q, want the carried span id %q", spans[0].Parent, sent.Parent)
+	}
+}
+
+// TestDebugSpansFilters exercises ?trace, ?stage, ?min_ms and ?limit.
+func TestDebugSpansFilters(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	info := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc})
+	url := ts.URL + "/api/v1/sessions/" + info.ID
+	assertTasks(t, url, 0, 4)
+	runSession(t, url)
+
+	var all spansResponse
+	if st := call(t, "GET", ts.URL+"/debug/spans", nil, &all); st != http.StatusOK {
+		t.Fatalf("debug spans: status %d", st)
+	}
+	if all.Capacity != obs.DefaultSpanCapacity || all.Total == 0 || len(all.Spans) == 0 {
+		t.Fatalf("bad store header: %+v", all)
+	}
+
+	var runs spansResponse
+	call(t, "GET", ts.URL+"/debug/spans?stage=engine.run", nil, &runs)
+	if len(runs.Spans) == 0 {
+		t.Fatal("no engine.run spans after a run")
+	}
+	for _, sp := range runs.Spans {
+		if sp.Stage != stageEngineRun {
+			t.Fatalf("stage filter leaked %+v", sp)
+		}
+	}
+
+	trace := runs.Spans[0].TraceID
+	var byTrace spansResponse
+	call(t, "GET", ts.URL+"/debug/spans?trace="+trace+"&limit=2", nil, &byTrace)
+	if len(byTrace.Spans) != 2 {
+		t.Fatalf("limit=2 returned %d spans", len(byTrace.Spans))
+	}
+	for _, sp := range byTrace.Spans {
+		if sp.TraceID != trace {
+			t.Fatalf("trace filter leaked %+v", sp)
+		}
+	}
+
+	if st := call(t, "GET", ts.URL+"/debug/spans?min_ms=bogus", nil, nil); st != http.StatusBadRequest {
+		t.Fatalf("bad min_ms: status %d, want 400", st)
+	}
+	if st := call(t, "GET", ts.URL+"/cluster/trace/not-a-trace-id", nil, nil); st != http.StatusBadRequest {
+		t.Fatalf("bad trace id: status %d, want 400", st)
+	}
+
+	// Single-node /cluster/trace answers with the local spans alone.
+	var asm clusterTraceResponse
+	if st := call(t, "GET", ts.URL+"/cluster/trace/"+trace, nil, &asm); st != http.StatusOK {
+		t.Fatalf("single-node cluster trace: status %d", st)
+	}
+	if len(asm.Spans) == 0 {
+		t.Fatalf("single-node cluster trace empty for %s", trace)
+	}
+}
+
+// TestServerTimingHeader: a durable run's response carries Server-Timing
+// with the queue/wal/run stages parsable by the parload client.
+func TestServerTimingHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir()})
+	info := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc})
+	url := ts.URL + "/api/v1/sessions/" + info.ID
+	assertTasks(t, url, 0, 4)
+
+	resp := postRaw(t, url+"/run", "{}", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+	st := resp.Header.Get("Server-Timing")
+	for _, tok := range []string{"run;dur=", "wal;dur=", "queue;dur="} {
+		if !strings.Contains(st, tok) {
+			t.Fatalf("Server-Timing %q missing %q", st, tok)
+		}
+	}
+}
+
+// TestFlightRecorderCapture: with a nanosecond threshold every request
+// is "slow", so the ring must hold captures with their span trees.
+func TestFlightRecorderCapture(t *testing.T) {
+	_, ts := newTestServer(t, Config{SlowRequestThreshold: time.Nanosecond, FlightRecorderSize: 4})
+	info := createSession(t, ts.URL, createSessionRequest{Program: "quickstart"})
+	runSession(t, ts.URL+"/api/v1/sessions/"+info.ID)
+
+	var fr struct {
+		ThresholdMS int64              `json:"threshold_ms"`
+		Total       uint64             `json:"total"`
+		Capacity    int                `json:"capacity"`
+		Records     []obs.FlightRecord `json:"records"`
+	}
+	if st := call(t, "GET", ts.URL+"/debug/flightrecorder", nil, &fr); st != http.StatusOK {
+		t.Fatalf("flight recorder: status %d", st)
+	}
+	if fr.Capacity != 4 || fr.Total < 2 || len(fr.Records) == 0 {
+		t.Fatalf("bad flight recorder state: %+v", fr)
+	}
+	var run *obs.FlightRecord
+	for i := range fr.Records {
+		if strings.HasSuffix(fr.Records[i].Path, "/run") {
+			run = &fr.Records[i]
+		}
+	}
+	if run == nil {
+		t.Fatalf("no capture of the run request in %+v", fr.Records)
+	}
+	if run.TraceID == "" || run.Status != http.StatusOK || run.DurNS <= 0 {
+		t.Fatalf("bad capture %+v", run)
+	}
+	found := false
+	for _, sp := range run.Spans {
+		if sp.Stage == stageEngineRun {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("capture %+v lacks the engine.run span", run)
+	}
+
+	// Disabled recorder (negative threshold) captures nothing.
+	_, ts2 := newTestServer(t, Config{SlowRequestThreshold: -1})
+	createSession(t, ts2.URL, createSessionRequest{Program: "quickstart"})
+	var fr2 struct {
+		Total uint64 `json:"total"`
+	}
+	call(t, "GET", ts2.URL+"/debug/flightrecorder", nil, &fr2)
+	if fr2.Total != 0 {
+		t.Fatalf("disabled flight recorder captured %d records", fr2.Total)
+	}
+}

@@ -96,6 +96,8 @@ type Log struct {
 	dirty  bool
 	closed bool
 
+	lastFsync time.Duration // duration of the most recent fsync, taken by TakeLastFsync
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
@@ -320,14 +322,27 @@ func (l *Log) Sync() error {
 func (l *Log) syncLocked() error {
 	t0 := time.Now()
 	err := l.f.Sync()
+	l.lastFsync = time.Since(t0)
 	if l.opts.OnFsync != nil {
-		l.opts.OnFsync(time.Since(t0))
+		l.opts.OnFsync(l.lastFsync)
 	}
 	if err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false
 	return nil
+}
+
+// TakeLastFsync returns the duration of the most recent fsync and
+// zeroes it, so a caller timing one append can attribute the inline
+// flush that append triggered (meaningful under PolicyAlways, where
+// every append fsyncs before returning; zero otherwise).
+func (l *Log) TakeLastFsync() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.lastFsync
+	l.lastFsync = 0
+	return d
 }
 
 // Reset discards every record in the file — they are covered by a

@@ -46,6 +46,41 @@ for i in 0 1 2; do
 done
 echo "cluster_smoke: 3 nodes up"
 
+# Phase 0: distributed tracing through a proxy hop. A session minted on n0
+# is owned by n0, so a run sent to n1 is proxied; the response echoes the
+# trace id in X-Parulel-Trace, and the assembled /cluster/trace view
+# (asked of n2, a third party) must contain spans from at least two nodes
+# covering the full path: both ingresses, the proxy leg, the owner's WAL
+# append, the replication ack, and the engine run.
+TSESSION=$(curl -sf -X POST "localhost:${PUB[0]}/api/v1/sessions" \
+  -d '{"source": "(literalize item k state)"}' | jq -r .id)
+case "$TSESSION" in s-n0-*) ;; *) echo "cluster_smoke: trace session $TSESSION not owned by n0" >&2; exit 1;; esac
+TRACE_HDR=$(curl -sf -D - -o /dev/null -X POST \
+  "localhost:${PUB[1]}/api/v1/sessions/$TSESSION/run" -d '{}' \
+  | tr -d '\r' | awk -F': ' 'tolower($1) == "x-parulel-trace" {print $2}')
+TRACE_ID=$(echo "$TRACE_HDR" | cut -d- -f2)
+if [ "${#TRACE_ID}" != 32 ]; then
+  echo "cluster_smoke: bad trace header $TRACE_HDR from proxied run" >&2; exit 1
+fi
+TRACE_OK=0
+for _ in $(seq 1 50); do
+  ASSEMBLED=$(curl -sf "localhost:${PUB[2]}/cluster/trace/$TRACE_ID") || ASSEMBLED='{}'
+  NODES=$(echo "$ASSEMBLED" | jq '.nodes | length')
+  STAGES=$(echo "$ASSEMBLED" | jq -r '[.spans[].stage] | unique | join(",")')
+  ok=1
+  [ "$NODES" -ge 2 ] 2>/dev/null || ok=0
+  for stage in ingress proxy wal.append repl.ack engine.run; do
+    case ",$STAGES," in *",$stage,"*) ;; *) ok=0;; esac
+  done
+  if [ "$ok" = 1 ]; then TRACE_OK=1; break; fi
+  sleep 0.1
+done
+if [ "$TRACE_OK" != 1 ]; then
+  echo "cluster_smoke: FAIL: trace $TRACE_ID incomplete (nodes=$NODES stages=$STAGES)" >&2
+  exit 1
+fi
+echo "cluster_smoke: trace $TRACE_ID assembled from $NODES nodes ($STAGES)"
+
 # Phase 1: chaos load across every endpoint. No 5xx bound here — while the
 # cluster converges on the kill below, proxies to the dead owner answer
 # 502 by design; what must hold is that nothing acked is ever lost.
