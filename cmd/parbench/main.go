@@ -16,7 +16,8 @@
 //	parbench -stream -json    …merged into the -out document under "stream"
 //	parbench -cluster         1-node vs 3-node aggregate ingest (in-process cluster)
 //	parbench -cluster -json   …merged into the -out document under "cluster"
-//	parbench -durability      WAL fsync policy cost at the session write path
+//	parbench -durability      WAL fsync policy cost + group-commit vs always under concurrency
+//	parbench -durability -json …merged into the -out document under "durability"
 //	parbench -ruleprofile     per-rule match-time attribution tables
 //	parbench -cpuprofile f    write a pprof CPU profile of the run to f
 //	parbench -memprofile f    write a pprof heap profile at exit to f
@@ -172,7 +173,21 @@ func main() {
 	}
 
 	if *durability {
-		if err := bench.Durability(os.Stdout, *quick); err != nil {
+		doc, err := bench.RunDurability(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: durability: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.MergeDurabilityJSON(*out, doc); err != nil {
+				fmt.Fprintf(os.Stderr, "parbench: durability: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "-" {
+				fmt.Fprintf(os.Stderr, "parbench: merged durability results into %s (group-commit %.2fx vs always at c=%d)\n",
+					*out, doc.GroupSpeedup, doc.GroupSpeedupConcurrency)
+			}
+		} else if err := bench.WriteDurabilityTable(os.Stdout, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "parbench: durability: %v\n", err)
 			os.Exit(1)
 		}

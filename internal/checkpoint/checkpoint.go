@@ -66,6 +66,26 @@ type Header struct {
 	// never ticked and track nothing). Its serialization is deterministic,
 	// preserving the byte-identical-snapshot property.
 	Temporal *temporal.State `json:"temporal,omitempty"`
+
+	// Ledger commits the session's Merkle ledger as of this checkpoint
+	// (nil when the ledger is disabled or the checkpoint predates it).
+	// The whole header is CRC-framed, so the committed root is itself
+	// tamper-evident; chaining through Prev ties every checkpoint to the
+	// one before it.
+	Ledger *LedgerCommit `json:"ledger,omitempty"`
+}
+
+// LedgerCommit pins the Merkle ledger state a checkpoint vouches for:
+// the root (and resumable peak decomposition) over the first Count WAL
+// frames the session ever appended, plus the previous checkpoint's
+// commit so an auditor can walk the chain. The hex digests and peak
+// semantics are defined in internal/wal (RFC 6962 hashing).
+type LedgerCommit struct {
+	Count     uint64   `json:"count"`
+	Root      string   `json:"root"`
+	Peaks     []string `json:"peaks,omitempty"`
+	PrevCount uint64   `json:"prev_count,omitempty"`
+	PrevRoot  string   `json:"prev_root,omitempty"`
 }
 
 // Fact is one restored working-memory element, paired by index with

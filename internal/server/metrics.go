@@ -76,6 +76,8 @@ type collector struct {
 	recoveryFailures   uint64
 	walTruncations     uint64
 	walTruncatedBytes  uint64
+	groupCommits       uint64 // batched flushes issued under fsync=group
+	groupedAppends     uint64 // appends those flushes made durable
 
 	// Cluster counters; clusterNode gates the payload section.
 	clusterNode     string
@@ -272,6 +274,13 @@ func (c *collector) fsyncObserved(d time.Duration) {
 	c.mu.Unlock()
 }
 
+func (c *collector) groupCommitObserved(cohort int) {
+	c.mu.Lock()
+	c.groupCommits++
+	c.groupedAppends += uint64(cohort)
+	c.mu.Unlock()
+}
+
 func (c *collector) checkpointDone(d time.Duration, err error) {
 	c.mu.Lock()
 	if err != nil {
@@ -336,6 +345,8 @@ type durabilityPayload struct {
 	RecoveryFailures  uint64   `json:"recovery_failures"`
 	WALTruncations    uint64   `json:"wal_tail_truncations"`
 	WALTruncatedBytes uint64   `json:"wal_tail_truncated_bytes"`
+	GroupCommits      uint64   `json:"group_commits"`
+	GroupedAppends    uint64   `json:"grouped_appends"`
 }
 
 // clusterPayload is the /metrics cluster section, present only when the
@@ -534,6 +545,8 @@ func (c *collector) snapshot(uptime time.Duration, live, active, onDisk, queued,
 			RecoveryFailures:  c.recoveryFailures,
 			WALTruncations:    c.walTruncations,
 			WALTruncatedBytes: c.walTruncatedBytes,
+			GroupCommits:      c.groupCommits,
+			GroupedAppends:    c.groupedAppends,
 		}
 	}
 	if c.clusterNode != "" && cl != nil {

@@ -173,6 +173,8 @@ func writePrometheus(w io.Writer, m metricsPayload) {
 		p.gauge("parulel_sessions_on_disk", "Session directories currently on disk.", float64(d.SessionsOnDisk))
 		p.counter("parulel_recovery_failures_total", "Session recoveries that failed.", float64(d.RecoveryFailures))
 		p.counter("parulel_wal_tail_truncations_total", "Torn WAL tails dropped during recovery.", float64(d.WALTruncations))
+		p.counter("parulel_wal_group_commits_total", "Batched flushes issued under fsync=group.", float64(d.GroupCommits))
+		p.counter("parulel_wal_grouped_appends_total", "Appends made durable by group-commit flushes.", float64(d.GroupedAppends))
 	}
 
 	if c := m.Cluster; c != nil {

@@ -1,0 +1,206 @@
+package server
+
+// Coverage for the tamper-evidence surface at the server level: the
+// inclusion-proof endpoint, group-commit fsync as the serving policy
+// (including crash recovery), and recovery-time rejection of a WAL
+// spliced in from another session.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parulel/internal/wal"
+)
+
+func fetchProof(t *testing.T, url, seq string) (int, wal.Proof, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/proof?seq=" + seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p wal.Proof
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatalf("proof body does not decode: %v: %s", err, body)
+		}
+	}
+	return resp.StatusCode, p, string(body)
+}
+
+// TestProofEndpoint: proofs round-trip through the HTTP surface and
+// verify offline; the root survives checkpoints and a crash-restart
+// (the ledger spans checkpoints by design).
+func TestProofEndpoint(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyGroup, FsyncWait: time.Millisecond, CheckpointEvery: 4}
+	ts := startCrashable(t, cfg)
+	info := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	url := ts.URL + "/api/v1/sessions/" + info.ID
+	driveSession(t, url) // several appends; CheckpointEvery 4 forces checkpoints
+
+	st, p, body := fetchProof(t, url, "1")
+	if st != http.StatusOK {
+		t.Fatalf("proof seq 1: status %d: %s", st, body)
+	}
+	if p.Session != info.ID || p.Seq != 1 {
+		t.Fatalf("proof identity: %+v", p)
+	}
+	if err := wal.VerifyProof(&p); err != nil {
+		t.Fatalf("served proof does not verify: %v", err)
+	}
+
+	if st, _, _ := fetchProof(t, url, "99999"); st != http.StatusNotFound {
+		t.Fatalf("unknown seq: status %d, want 404", st)
+	}
+	for _, bad := range []string{"", "0", "x", "-3"} {
+		if st, _, _ := fetchProof(t, url, bad); st != http.StatusBadRequest {
+			t.Fatalf("seq %q: status %d, want 400", bad, st)
+		}
+	}
+
+	// Crash and restart over the same data dir: the recovered ledger
+	// serves the same proof — same leaf, same root — because the ledger
+	// records the session's whole history, checkpoints included.
+	ts.Close()
+	_, ts2 := newTestServer(t, cfg)
+	url2 := ts2.URL + "/api/v1/sessions/" + info.ID
+	st2, p2, body2 := fetchProof(t, url2, "1")
+	if st2 != http.StatusOK {
+		t.Fatalf("proof after recovery: status %d: %s", st2, body2)
+	}
+	if err := wal.VerifyProof(&p2); err != nil {
+		t.Fatalf("recovered proof does not verify: %v", err)
+	}
+	if p2.Leaf != p.Leaf || p2.Root != p.Root || p2.Count != p.Count {
+		t.Fatalf("recovery changed the attested history:\n before %+v\n after  %+v", p, p2)
+	}
+}
+
+func TestProofEndpointUnavailable(t *testing.T) {
+	// Memory-only server: nothing to attest.
+	_, ts := newTestServer(t, Config{})
+	info := createSession(t, ts.URL, createSessionRequest{Source: boundedSrc})
+	if st, _, body := fetchProof(t, ts.URL+"/api/v1/sessions/"+info.ID, "1"); st != http.StatusConflict {
+		t.Fatalf("memory-only proof: status %d: %s", st, body)
+	}
+
+	// Durable but with the merkle ledger switched off.
+	_, ts2 := newTestServer(t, Config{DataDir: t.TempDir(), DisableMerkle: true})
+	info2 := createSession(t, ts2.URL, createSessionRequest{Source: boundedSrc})
+	st, _, body := fetchProof(t, ts2.URL+"/api/v1/sessions/"+info2.ID, "1")
+	if st != http.StatusConflict || !strings.Contains(body, "merkle") {
+		t.Fatalf("merkle-disabled proof: status %d: %s", st, body)
+	}
+}
+
+// TestGroupPolicyRecovery is TestRecoveryAfterRestart under the group
+// fsync policy: a kill-and-restart preserves working memory and counters
+// byte-identically when every mutation was group-committed.
+func TestGroupPolicyRecovery(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyGroup, FsyncWait: time.Millisecond}
+
+	tsA := startCrashable(t, cfg)
+	info := createSession(t, tsA.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	urlA := tsA.URL + "/api/v1/sessions/" + info.ID
+	driveSession(t, urlA)
+	wantSnap := exportSnapshot(t, urlA)
+	wantInfo := getInfo(t, urlA)
+	tsA.Close() // crash: no drain, no log close
+
+	_, tsB := newTestServer(t, cfg)
+	urlB := tsB.URL + "/api/v1/sessions/" + info.ID
+	gotInfo := getInfo(t, urlB)
+	if gotInfo.Cycles != wantInfo.Cycles || gotInfo.WMSize != wantInfo.WMSize || gotInfo.Runs != wantInfo.Runs {
+		t.Fatalf("recovered counters differ:\n got %+v\nwant %+v", gotInfo, wantInfo)
+	}
+	if gotSnap := exportSnapshot(t, urlB); gotSnap != wantSnap {
+		t.Fatalf("recovered snapshot differs:\n-- got --\n%s\n-- want --\n%s", gotSnap, wantSnap)
+	}
+	// And the group-commit metrics moved.
+	var m metricsPayload
+	if st := call(t, "GET", tsB.URL+"/metrics", nil, &m); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Durability == nil {
+		t.Fatal("durability metrics missing")
+	}
+}
+
+// TestSpliceRejectedAtRecovery: substituting one durable session's WAL
+// into another session's directory — valid frames, valid CRCs, right
+// sequence numbers, wrong history — must fail recovery, not serve the
+// foreign state.
+func TestSpliceRejectedAtRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := Config{DataDir: dataDir, Fsync: wal.PolicyAlways, CheckpointEvery: 1 << 20}
+
+	ts := startCrashable(t, cfg)
+	a := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	b := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	driveSession(t, ts.URL+"/api/v1/sessions/"+a.ID)
+	// Session b runs the same script over different facts, so its frames
+	// are valid but hash differently.
+	urlB := ts.URL + "/api/v1/sessions/" + b.ID
+	assertTasks(t, urlB, 10, 16)
+	runSession(t, urlB)
+	ts.Close() // crash
+
+	// The splice: b's WAL into a's directory.
+	src := filepath.Join(dataDir, "sessions", b.ID, "wal.log")
+	dst := filepath.Join(dataDir, "sessions", a.ID, "wal.log")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, cfg)
+	resp, err := http.Get(ts2.URL + "/api/v1/sessions/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("spliced session served: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "recovery failed") || !strings.Contains(string(body), "merkle") {
+		t.Fatalf("splice rejection reason not surfaced: %s", body)
+	}
+	// Session b itself still recovers fine.
+	getInfo(t, ts2.URL+"/api/v1/sessions/"+b.ID)
+}
+
+// TestGroupCommitMetricsSurface: under load the group policy reports
+// commits and cohort sizes through /metrics.
+func TestGroupCommitMetricsSurface(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), Fsync: wal.PolicyGroup}
+	_, ts := newTestServer(t, cfg)
+	info := createSession(t, ts.URL, createSessionRequest{Source: recoverySrc, Workers: 2})
+	url := ts.URL + "/api/v1/sessions/" + info.ID
+	for i := 0; i < 4; i++ {
+		assertTasks(t, url, i, i+1)
+	}
+	var m metricsPayload
+	if st := call(t, "GET", ts.URL+"/metrics", nil, &m); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m.Durability == nil || m.Durability.GroupCommits == 0 || m.Durability.GroupedAppends == 0 {
+		t.Fatalf("group-commit metrics not reported: %+v", m.Durability)
+	}
+	if m.Durability.GroupedAppends < m.Durability.GroupCommits {
+		t.Fatalf("cohort accounting inverted: %+v", m.Durability)
+	}
+}

@@ -98,6 +98,15 @@ type Config struct {
 	Fsync wal.Policy
 	// FsyncInterval is the flush period under wal.PolicyInterval. Default 100ms.
 	FsyncInterval time.Duration
+	// FsyncWait bounds how long the group-commit daemon parks to let more
+	// appends join a cohort under wal.PolicyGroup. Zero flushes as soon as
+	// the daemon wakes; coalescing still happens under concurrency because
+	// appends arriving during a flush share the next one.
+	FsyncWait time.Duration
+	// DisableMerkle turns off the per-session Merkle ledger (merkle.log,
+	// chained checkpoint commits, the /proof endpoint). The zero value
+	// keeps it on: tamper evidence is part of the durability contract.
+	DisableMerkle bool
 	// CheckpointEvery rewrites a session's checkpoint and empties its log
 	// after this many WAL records. Default 256.
 	CheckpointEvery int
@@ -247,12 +256,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DataDir != "" {
 		walOpts := wal.Options{
-			Policy:   cfg.Fsync,
-			Interval: cfg.FsyncInterval,
-			OnAppend: s.metrics.walAppend,
-			OnFsync:  s.metrics.fsyncObserved,
+			Policy:        cfg.Fsync,
+			Interval:      cfg.FsyncInterval,
+			GroupWait:     cfg.FsyncWait,
+			OnAppend:      s.metrics.walAppend,
+			OnFsync:       s.metrics.fsyncObserved,
+			OnGroupCommit: s.metrics.groupCommitObserved,
 		}
-		st, maxID, err := openStore(cfg.DataDir, walOpts)
+		st, maxID, err := openStore(cfg.DataDir, walOpts, !cfg.DisableMerkle)
 		if err != nil {
 			return nil, err
 		}
@@ -411,6 +422,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /api/v1/sessions/{id}/jobs/{job}", s.routed(s.handleJobCancel))
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.routed(s.handleTrace))
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/wm", s.routed(s.handleWM))
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/proof", s.routed(s.handleProof))
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/snapshot", s.routed(s.handleSnapshotExport))
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/snapshot", s.routed(s.handleSnapshotImport))
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -37,12 +38,14 @@ import (
 const (
 	walFile        = "wal.log"
 	checkpointFile = "checkpoint"
+	ledgerFile     = "merkle.log"
 )
 
 // store tracks the on-disk session directories under <DataDir>/sessions.
 type store struct {
 	root    string
 	walOpts wal.Options
+	merkle  bool // attach a Merkle ledger to every session log
 
 	mu    sync.Mutex
 	known map[string]bool // session ids with an on-disk directory
@@ -51,12 +54,12 @@ type store struct {
 // openStore scans an existing data directory, returning the store and the
 // largest numeric session id found, so freshly minted ids never collide
 // with recoverable ones.
-func openStore(dataDir string, walOpts wal.Options) (*store, uint64, error) {
+func openStore(dataDir string, walOpts wal.Options, merkle bool) (*store, uint64, error) {
 	root := filepath.Join(dataDir, "sessions")
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, 0, fmt.Errorf("durability: %w", err)
 	}
-	st := &store{root: root, walOpts: walOpts, known: make(map[string]bool)}
+	st := &store{root: root, walOpts: walOpts, merkle: merkle, known: make(map[string]bool)}
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, 0, fmt.Errorf("durability: %w", err)
@@ -110,11 +113,23 @@ func (st *store) create(id string, meta wal.Record) (*durable, error) {
 	if err != nil {
 		return nil, err
 	}
+	var led *wal.Ledger
+	if st.merkle {
+		led, err = wal.OpenLedger(filepath.Join(dir, ledgerFile))
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.SetLedger(led) // before the OpCreate append so seq 1 is leaf 0
+	}
 	if err := l.Append(&meta); err != nil {
 		l.Close()
+		if led != nil {
+			led.Close()
+		}
 		return nil, err
 	}
-	return &durable{st: st, id: id, dir: dir, log: l, meta: meta}, nil
+	return &durable{st: st, id: id, dir: dir, log: l, led: led, meta: meta}, nil
 }
 
 // markKnown makes id visible to lookup/rehydration and deletion.
@@ -143,36 +158,57 @@ type durable struct {
 
 	mu      sync.Mutex
 	log     *wal.Log
+	led     *wal.Ledger // Merkle ledger, nil when disabled
 	closed  bool
 	failed  bool // a mutation could not be made durable; appends are refused
 	records int  // log records appended since the last checkpoint
+
+	// lastCommit is the newest checkpoint's ledger commit, chained into
+	// the next one's PrevCount/PrevRoot.
+	lastCommit *checkpoint.LedgerCommit
 }
 
-func (d *durable) append(rec *wal.Record) error {
+// append logs one record, returning how long it waited on stable storage
+// (PolicyAlways' inline fsync, a group commit's shared flush; zero under
+// the batched policies) so the caller can attribute the latency.
+func (d *durable) append(rec *wal.Record) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	switch {
 	case d.closed:
-		return errors.New("log is closed")
+		return 0, errors.New("log is closed")
 	case d.failed:
-		return errors.New("durability disabled after an earlier failure")
+		return 0, errors.New("durability disabled after an earlier failure")
 	}
-	if err := d.log.Append(rec); err != nil {
-		return err
+	fs, err := d.log.AppendSynced(rec)
+	if err != nil {
+		return fs, err
 	}
 	d.records++
-	return nil
+	return fs, nil
 }
 
-// lastFsync reports (and clears) the duration of the fsync issued by the
-// most recent append, zero when the sync policy batches syncs elsewhere.
-func (d *durable) lastFsync() time.Duration {
+// errMerkleDisabled distinguishes "this server runs without ledgers"
+// from "no such record" on the proof endpoint.
+var errMerkleDisabled = errors.New("merkle ledger is disabled on this server")
+
+// proof builds the inclusion proof for the record with sequence seq.
+func (d *durable) proof(seq uint64) (*wal.Proof, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return 0
+	led, id, closed := d.led, d.id, d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, errors.New("log is closed")
 	}
-	return d.log.TakeLastFsync()
+	if led == nil {
+		return nil, errMerkleDisabled
+	}
+	p, err := led.Prove(seq)
+	if err != nil {
+		return nil, err
+	}
+	p.Session = id
+	return p, nil
 }
 
 // due reports whether enough records accumulated to warrant a checkpoint.
@@ -193,6 +229,29 @@ func (d *durable) checkpoint(h checkpoint.Header, mem *wm.Memory) error {
 	defer d.mu.Unlock()
 	if d.closed {
 		return errors.New("log is closed")
+	}
+	if d.led != nil {
+		// Flush staged ledger entries and commit the tree: the header
+		// vouches for the root over everything appended so far, chained
+		// to the previous checkpoint's commit. The WAL is synced first —
+		// a durable ledger entry must always imply a durable frame, or
+		// the audit invariant (entry without frame = tampering) breaks.
+		if err := d.log.Sync(); err != nil {
+			return err
+		}
+		if err := d.led.SyncAll(); err != nil {
+			return err
+		}
+		st, err := d.led.State()
+		if err != nil {
+			return err
+		}
+		commit := &checkpoint.LedgerCommit{Count: st.Count, Root: st.Root, Peaks: st.Peaks}
+		if d.lastCommit != nil {
+			commit.PrevCount = d.lastCommit.Count
+			commit.PrevRoot = d.lastCommit.Root
+		}
+		h.Ledger = commit
 	}
 	tmp := filepath.Join(d.dir, checkpointFile+".tmp")
 	f, err := os.Create(tmp)
@@ -220,6 +279,9 @@ func (d *durable) checkpoint(h checkpoint.Header, mem *wm.Memory) error {
 		return err
 	}
 	d.records = 0
+	if h.Ledger != nil {
+		d.lastCommit = h.Ledger
+	}
 	return nil
 }
 
@@ -238,7 +300,13 @@ func (d *durable) close() error {
 		return nil
 	}
 	d.closed = true
-	return d.log.Close()
+	err := d.log.Close()
+	if d.led != nil {
+		if lerr := d.led.Close(); err == nil {
+			err = lerr
+		}
+	}
+	return err
 }
 
 func syncDir(dir string) error {
@@ -300,12 +368,14 @@ func (s *Server) persist(ctx context.Context, sess *session, rec *wal.Record) bo
 		return true
 	}
 	appendSp := s.startSpan(ctx, stageWALAppend)
-	err := d.append(rec)
+	fs, err := d.append(rec)
 	appendSp.End()
-	// Attribute the inline fsync (PolicyAlways) as a child of the append
-	// that issued it; batched sync policies run their syncs elsewhere and
-	// report zero here.
-	if fs := d.lastFsync(); fs > 0 {
+	// Attribute the time this append spent on stable storage — the inline
+	// fsync under PolicyAlways, or the park-to-flush wait for the shared
+	// group-commit flush — as a child of the append that paid for it.
+	// Purely batched policies (interval/never) sync elsewhere and report
+	// zero.
+	if fs > 0 {
 		s.recordSpan(ctx, appendSp.ID(), stageWALFsync, fs)
 	}
 	if err == nil {
@@ -406,10 +476,14 @@ func (s *Server) loadSession(ctx context.Context, id string) (*session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("opening wal: %w", err)
 	}
+	var led *wal.Ledger
 	ok := false
 	defer func() {
 		if !ok {
 			l.Close()
+			if led != nil {
+				led.Close()
+			}
 		}
 	}()
 	if scanRes.TruncatedBytes > 0 {
@@ -421,6 +495,40 @@ func (s *Server) loadSession(ctx context.Context, id string) (*session, error) {
 		// its sequence point; restore it from the header or post-recovery
 		// appends would reuse seq <= h.Seq and be skipped next recovery.
 		l.AdvanceSeq(h.Seq)
+	}
+	if s.store.merkle {
+		lpath := filepath.Join(dir, ledgerFile)
+		led, err = wal.OpenLedger(lpath)
+		if err != nil {
+			// A file that does not even parse (e.g. a header torn by a
+			// crash during creation) cannot attest to anything; restart
+			// it from the checkpoint's commit rather than refusing to
+			// serve. parverify still reports the unreadable original.
+			s.log(ctx).Warn("recreating unreadable merkle ledger", "session_id", id, "err", err)
+			if rerr := os.Remove(lpath); rerr != nil {
+				return nil, fmt.Errorf("resetting merkle ledger: %w", rerr)
+			}
+			if led, err = wal.OpenLedger(lpath); err != nil {
+				return nil, fmt.Errorf("opening merkle ledger: %w", err)
+			}
+		}
+		var (
+			ckptSeq uint64
+			commit  *wal.LedgerState
+		)
+		if haveCkpt {
+			ckptSeq = h.Seq
+			if h.Ledger != nil {
+				commit = &wal.LedgerState{Count: h.Ledger.Count, Root: h.Ledger.Root, Peaks: h.Ledger.Peaks}
+			}
+		}
+		// Reconcile cross-checks every surviving frame against the ledger
+		// and the committed root; failure means the on-disk history was
+		// altered, and the session must not be served from it.
+		if err := led.Reconcile(scanRes.Records, ckptSeq, commit); err != nil {
+			return nil, fmt.Errorf("merkle ledger: %w", err)
+		}
+		l.SetLedger(led)
 	}
 
 	var meta wal.Record
@@ -484,9 +592,43 @@ func (s *Server) loadSession(ctx context.Context, id string) (*session, error) {
 		sess.statCycles = len(sess.lastResult.Stats.Cycles)
 	}
 	sess.profileDeltas() // likewise replay-produced per-rule activity
-	sess.dur = &durable{st: s.store, id: id, dir: dir, log: l, meta: meta, records: replayed}
+	sess.dur = &durable{st: s.store, id: id, dir: dir, log: l, led: led, meta: meta, records: replayed}
+	if haveCkpt && h.Ledger != nil {
+		sess.dur.lastCommit = h.Ledger
+	}
 	ok = true
 	return sess, nil
+}
+
+// handleProof serves a Merkle inclusion proof for one WAL record:
+// GET /api/v1/sessions/{id}/proof?seq=N. The proof is self-contained
+// (leaf, bottom-up path, root); `parverify -proof` checks it offline,
+// optionally against a root recorded out of band.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(sess *session) {
+		seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+		if err != nil || seq == 0 {
+			writeError(w, http.StatusBadRequest, "seq must be a positive integer")
+			return
+		}
+		if sess.dur == nil {
+			writeError(w, http.StatusConflict, "session is not durable (server runs without a data dir)")
+			return
+		}
+		p, perr := sess.dur.proof(seq)
+		switch {
+		case perr == nil:
+			writeJSON(w, http.StatusOK, p)
+		case errors.Is(perr, errMerkleDisabled):
+			writeError(w, http.StatusConflict, perr.Error())
+		case errors.Is(perr, wal.ErrProofPredates):
+			// The leaves below a promoted replica's base are summarized
+			// into peaks; the record is attested but not provable here.
+			writeError(w, http.StatusGone, perr.Error())
+		default:
+			writeError(w, http.StatusNotFound, perr.Error())
+		}
+	})
 }
 
 // replay applies one log record to a recovering session. Count-bearing

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -27,6 +28,15 @@ func FuzzReplay(f *testing.F) {
 	f.Add(frame(`{"seq":0,"op":"run"}`)) // non-monotonic seq
 	f.Add(frame(`{"seq":1,"op":"tick","tick":5,"count":2}`))
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 'x'})
+	f.Add(frame(`{"seq":1,"op":"batch","ops":[{"op":"assert"},{"op":"tick","tick":1}]}`))
+	f.Add(frame(`{"seq":18446744073709551615,"op":"run"}`))                           // max uint64 seq
+	f.Add(append(frame(`{"seq":1,"op":"run"}`), frame(`{"seq":9000,"op":"run"}`)...)) // sparse seqs
+	f.Add(frame(`{"seq":1,"op":"import","text":"\u0000\ufffd\n(wm)"}`))
+	// A valid frame preceded by one flipped payload byte: nothing after
+	// the corruption may be salvaged (no resynchronization).
+	bad := frame(`{"seq":1,"op":"run","cycles":3}`)
+	bad[frameHeader+2] ^= 0x01
+	f.Add(append(bad, frame(`{"seq":2,"op":"run"}`)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "wal.log")
@@ -93,6 +103,105 @@ func FuzzTickRecord(f *testing.F) {
 		if batch.Op != OpBatch || len(batch.Ops) != 1 ||
 			batch.Ops[0].Tick != tick || batch.Ops[0].Count != count {
 			t.Fatalf("nested tick record corrupted: %+v", batch)
+		}
+	})
+}
+
+// FuzzProofVerify throws arbitrary proof JSON at the verifier. It must
+// never panic, and — the binding property the audit trail rests on — a
+// proof that verifies against a trusted (root, index, count) triple must
+// carry exactly the leaf the honest proof carried: no mutation can
+// substitute a different frame hash under the same root.
+func FuzzProofVerify(f *testing.F) {
+	led, err := OpenLedger(filepath.Join(f.TempDir(), "merkle.log"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer led.Close()
+	for i := 1; i <= 11; i++ {
+		led.observe(uint64(i), []byte{byte(i), 0x33})
+	}
+	honest, err := led.Prove(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	honestJSON, err := json.Marshal(honest)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(honestJSON)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seq":6,"index":5,"count":11,"leaf":"ff","path":[],"root":"00"}`))
+	mutated := append([]byte(nil), honestJSON...)
+	mutated[len(mutated)/2] ^= 0x20
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Proof
+		if err := json.Unmarshal(data, &p); err != nil {
+			return
+		}
+		if err := VerifyProof(&p); err != nil {
+			return // rejection is always fine; panicking is not
+		}
+		if p.Root == honest.Root && p.Index == honest.Index && p.Count == honest.Count && p.Leaf != honest.Leaf {
+			t.Fatalf("forged proof verified: leaf %s accepted at index %d under root %s (honest leaf %s)",
+				p.Leaf, p.Index, p.Root, honest.Leaf)
+		}
+	})
+}
+
+// FuzzLedgerOpen feeds arbitrary bytes to the ledger parser: it must
+// never panic, never accept a state it cannot summarize, and — like the
+// WAL scan — be idempotent: once one open has truncated a torn tail, a
+// second open finds a clean file.
+func FuzzLedgerOpen(f *testing.F) {
+	seedPath := filepath.Join(f.TempDir(), "merkle.log")
+	led, err := OpenLedger(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		led.observe(uint64(i), []byte{byte(i)})
+	}
+	if err := led.SyncAll(); err != nil {
+		f.Fatal(err)
+	}
+	led.Close()
+	clean, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5]) // torn entry
+	f.Add([]byte{})
+	f.Add([]byte("parulel-merkle v1\n"))
+	f.Add([]byte("parulel-merkle v1\n{\"base\":0}\n"))
+	f.Add([]byte("parulel-merkle v1\n{\"base\":3,\"peaks\":[\"zz\"]}\n"))
+	f.Add([]byte("not a ledger"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "merkle.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		led, err := OpenLedger(path)
+		if err != nil {
+			return
+		}
+		st, serr := led.State()
+		if serr != nil {
+			t.Fatalf("opened ledger cannot summarize its state: %v", serr)
+		}
+		led.Close()
+		led2, err := OpenLedger(path)
+		if err != nil {
+			t.Fatalf("second open failed after truncating open: %v", err)
+		}
+		defer led2.Close()
+		st2, serr := led2.State()
+		if serr != nil || st2.Count != st.Count || st2.Root != st.Root {
+			t.Fatalf("second open diverged: %+v vs %+v (err=%v)", st2, st, serr)
 		}
 	})
 }

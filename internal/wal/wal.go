@@ -39,6 +39,13 @@ const (
 	// process alone loses nothing (writes are in the page cache), crash
 	// of the machine may lose recent records.
 	PolicyNever
+	// PolicyGroup gives PolicyAlways durability at a fraction of the
+	// fsync count: every append blocks until its record is on stable
+	// storage, but concurrent appends are coalesced into one batched
+	// flush by a per-log commit daemon. Under contention one fsync
+	// retires a whole cohort of appends; an uncontended append costs
+	// the same single fsync PolicyAlways would.
+	PolicyGroup
 )
 
 func (p Policy) String() string {
@@ -47,22 +54,26 @@ func (p Policy) String() string {
 		return "always"
 	case PolicyNever:
 		return "never"
+	case PolicyGroup:
+		return "group"
 	default:
 		return "interval"
 	}
 }
 
-// ParsePolicy parses "always", "interval" or "never".
+// ParsePolicy parses "always", "group", "interval" or "never".
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "always":
 		return PolicyAlways, nil
+	case "group":
+		return PolicyGroup, nil
 	case "", "interval":
 		return PolicyInterval, nil
 	case "never":
 		return PolicyNever, nil
 	default:
-		return PolicyInterval, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+		return PolicyInterval, fmt.Errorf("wal: unknown fsync policy %q (want always, group, interval or never)", s)
 	}
 }
 
@@ -72,10 +83,22 @@ type Options struct {
 	Policy Policy
 	// Interval is the flush period under PolicyInterval. Default 100ms.
 	Interval time.Duration
+	// GroupWait bounds how long the commit daemon parks after being woken
+	// before flushing, letting more appenders join the cohort
+	// (PolicyGroup). Zero flushes immediately: coalescing still happens
+	// because appends arriving while a flush is in flight share the next
+	// one.
+	GroupWait time.Duration
 	// OnAppend observes every appended record's framed size in bytes.
 	OnAppend func(bytes int)
 	// OnFsync observes the latency of every fsync issued.
 	OnFsync func(d time.Duration)
+	// OnGroupCommit observes each group flush's cohort size — the number
+	// of appends one fsync made durable (PolicyGroup only).
+	OnGroupCommit func(cohort int)
+	// FsyncFn replaces the file-sync call. Tests inject failing or
+	// bookkeeping syncs through it; nil means (*os.File).Sync.
+	FsyncFn func(*os.File) error
 }
 
 // ScanResult reports what Open found in an existing log file.
@@ -89,17 +112,36 @@ type ScanResult struct {
 // Log is an append-only record log. All methods are safe for concurrent
 // use; appends are serialized internally.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	opts   Options
-	seq    uint64 // last sequence number assigned
-	dirty  bool
-	closed bool
+	mu        sync.Mutex
+	groupCond sync.Cond // broadcast when flushedSeq advances or syncErr latches
+	f         *os.File
+	opts      Options
+	seq       uint64 // last sequence number assigned
+	dirty     bool
+	closed    bool
 
-	lastFsync time.Duration // duration of the most recent fsync, taken by TakeLastFsync
+	// flushedSeq is the highest sequence number known to be on stable
+	// storage. Group-commit waiters park until it covers their record.
+	flushedSeq uint64
+	// groupPending counts appends written since the last group flush
+	// began; the daemon reports it through OnGroupCommit.
+	groupPending int
+	// syncErr latches the first fsync failure permanently: once the
+	// kernel has dropped dirty pages on an fsync error, retrying cannot
+	// recover them, so every later append/sync must fail rather than
+	// silently acknowledge writes that may never reach the disk.
+	syncErr error
+
+	// ledger, when set, mirrors every appended frame into a Merkle
+	// ledger and is flushed after each successful fsync, so a durable
+	// ledger entry implies a durable frame under always/group policies.
+	ledger *Ledger
 
 	flushStop chan struct{}
 	flushDone chan struct{}
+	groupWake chan struct{}
+	groupStop chan struct{}
+	groupDone chan struct{}
 }
 
 // Open opens (creating if absent) the log at path for appending. An
@@ -129,11 +171,18 @@ func Open(path string, opts Options) (*Log, ScanResult, error) {
 		f.Close()
 		return nil, ScanResult{}, err
 	}
-	l := &Log{f: f, opts: opts, seq: lastSeq}
-	if opts.Policy == PolicyInterval {
+	l := &Log{f: f, opts: opts, seq: lastSeq, flushedSeq: lastSeq}
+	l.groupCond.L = &l.mu
+	switch opts.Policy {
+	case PolicyInterval:
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
 		go l.flusher()
+	case PolicyGroup:
+		l.groupWake = make(chan struct{}, 1)
+		l.groupStop = make(chan struct{})
+		l.groupDone = make(chan struct{})
+		go l.committer()
 	}
 	return l, res, nil
 }
@@ -188,17 +237,29 @@ func scan(f *os.File) (ScanResult, uint64, int64, error) {
 	return res, lastSeq, validEnd, nil
 }
 
-// Append frames, checksums and writes one record, assigning it the next
-// sequence number (stored into rec.Seq). Under PolicyAlways the record
-// is on stable storage when Append returns.
-func (l *Log) Append(rec *Record) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// appendLocked frames, checksums and writes one record. With assign set
+// the record gets the next local sequence number; otherwise the number
+// it carries is kept (and must still be strictly increasing). The caller
+// holds l.mu.
+func (l *Log) appendLocked(rec *Record, assign bool) error {
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
-	l.seq++
-	rec.Seq = l.seq
+	if l.syncErr != nil {
+		// A background or batched fsync failed after an earlier append
+		// was acknowledged optimistically; surface it now instead of
+		// accepting writes that may never reach the disk.
+		return l.syncErr
+	}
+	if assign {
+		l.seq++
+		rec.Seq = l.seq
+	} else {
+		if rec.Seq <= l.seq {
+			return fmt.Errorf("wal: out-of-order append: seq %d after %d", rec.Seq, l.seq)
+		}
+		l.seq = rec.Seq
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("wal: encoding record: %w", err)
@@ -210,14 +271,52 @@ func (l *Log) Append(rec *Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	if l.ledger != nil {
+		l.ledger.observe(rec.Seq, payload)
+	}
+	l.dirty = true
+	if l.opts.Policy == PolicyGroup {
+		l.groupPending++
+	}
 	if l.opts.OnAppend != nil {
 		l.opts.OnAppend(len(frame))
 	}
-	if l.opts.Policy == PolicyAlways {
-		return l.syncLocked()
-	}
-	l.dirty = true
 	return nil
+}
+
+// settleLocked makes the record at seq durable per the log's policy and
+// reports how long this append waited on stable storage: the inline
+// fsync under PolicyAlways, the park-to-flush wait under PolicyGroup,
+// zero under the batched policies. The caller holds l.mu.
+func (l *Log) settleLocked(seq uint64) (time.Duration, error) {
+	switch l.opts.Policy {
+	case PolicyAlways:
+		return l.syncLocked()
+	case PolicyGroup:
+		return l.awaitGroupLocked(seq)
+	default:
+		return 0, nil
+	}
+}
+
+// Append frames, checksums and writes one record, assigning it the next
+// sequence number (stored into rec.Seq). Under PolicyAlways and
+// PolicyGroup the record is on stable storage when Append returns.
+func (l *Log) Append(rec *Record) error {
+	_, err := l.AppendSynced(rec)
+	return err
+}
+
+// AppendSynced is Append plus the time this append spent waiting on
+// stable storage, so callers can attribute fsync latency — including a
+// group commit's shared flush — to the request that paid for it.
+func (l *Log) AppendSynced(rec *Record) (time.Duration, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(rec, true); err != nil {
+		return 0, err
+	}
+	return l.settleLocked(rec.Seq)
 }
 
 // AppendKeepSeq writes one record preserving the sequence number it
@@ -230,32 +329,129 @@ func (l *Log) Append(rec *Record) error {
 func (l *Log) AppendKeepSeq(rec *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return errors.New("wal: log is closed")
+	if err := l.appendLocked(rec, false); err != nil {
+		return err
 	}
-	if rec.Seq <= l.seq {
-		return fmt.Errorf("wal: out-of-order append: seq %d after %d", rec.Seq, l.seq)
+	_, err := l.settleLocked(rec.Seq)
+	return err
+}
+
+// awaitGroupLocked wakes the commit daemon and parks until the flushed
+// horizon covers seq, the log latches a sync error, or the log closes.
+// The caller holds l.mu; Wait releases it while parked, which is what
+// lets the cohort build up.
+func (l *Log) awaitGroupLocked(seq uint64) (time.Duration, error) {
+	select {
+	case l.groupWake <- struct{}{}:
+	default: // daemon already has a wake-up pending
 	}
-	l.seq = rec.Seq
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("wal: encoding record: %w", err)
+	t0 := time.Now()
+	for l.flushedSeq < seq && l.syncErr == nil && !l.closed {
+		l.groupCond.Wait()
 	}
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeader:], payload)
-	if _, err := l.f.Write(frame); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	d := time.Since(t0)
+	if l.flushedSeq >= seq {
+		return d, nil // durable, even if a later flush failed
 	}
-	if l.opts.OnAppend != nil {
-		l.opts.OnAppend(len(frame))
+	if l.syncErr != nil {
+		return d, l.syncErr
 	}
-	if l.opts.Policy == PolicyAlways {
-		return l.syncLocked()
+	return d, errors.New("wal: log closed before group flush")
+}
+
+// committer is the PolicyGroup flush daemon: woken by the first append
+// of a cohort, it (optionally, after GroupWait) snapshots the append
+// horizon, fsyncs once outside the log mutex — so more appends can land
+// and form the next cohort while the disk works — and wakes every
+// appender the flush covered.
+func (l *Log) committer() {
+	defer close(l.groupDone)
+	for {
+		select {
+		case <-l.groupStop:
+			return
+		case <-l.groupWake:
+		}
+		if l.opts.GroupWait > 0 {
+			t := time.NewTimer(l.opts.GroupWait)
+			select {
+			case <-l.groupStop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		target := l.seq
+		cohort := l.groupPending
+		l.groupPending = 0
+		if target <= l.flushedSeq || l.syncErr != nil {
+			// Nothing new (Close or an explicit Sync already flushed
+			// it) or the log is poisoned; either way wake any waiters.
+			l.groupCond.Broadcast()
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Unlock()
+
+		t0 := time.Now()
+		err := l.fsyncFile()
+		d := time.Since(t0)
+
+		l.mu.Lock()
+		if l.opts.OnFsync != nil {
+			l.opts.OnFsync(d)
+		}
+		if err != nil {
+			if l.syncErr == nil {
+				l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+			}
+		} else {
+			if target > l.flushedSeq {
+				l.flushedSeq = target
+			}
+			l.dirty = l.seq != l.flushedSeq
+			if l.opts.OnGroupCommit != nil && cohort > 0 {
+				l.opts.OnGroupCommit(cohort)
+			}
+			if l.ledger != nil {
+				if lerr := l.ledger.commitTo(target); lerr != nil && l.syncErr == nil {
+					l.syncErr = lerr
+				}
+			}
+		}
+		l.groupCond.Broadcast()
+		l.mu.Unlock()
 	}
-	l.dirty = true
-	return nil
+}
+
+func (l *Log) fsyncFile() error {
+	if l.opts.FsyncFn != nil {
+		return l.opts.FsyncFn(l.f)
+	}
+	return l.f.Sync()
+}
+
+// SetLedger attaches a Merkle ledger: every later append feeds it a
+// leaf, and each successful fsync flushes its entries up to the synced
+// horizon. Attach before the first append (the store wires it between
+// Open and use); attaching mid-stream would leave a gap the next
+// reconcile rejects.
+func (l *Log) SetLedger(led *Ledger) {
+	l.mu.Lock()
+	l.ledger = led
+	l.mu.Unlock()
+}
+
+// Ledger returns the attached Merkle ledger, nil if none.
+func (l *Log) Ledger() *Ledger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ledger
 }
 
 // ScanFile reads the valid record prefix of the log at path without
@@ -306,54 +502,78 @@ func (l *Log) AdvanceSeq(n uint64) {
 	if n > l.seq {
 		l.seq = n
 	}
+	if n > l.flushedSeq {
+		// The skipped numbers carry no bytes; nothing to flush for them.
+		l.flushedSeq = n
+	}
 	l.mu.Unlock()
 }
 
 // Sync flushes appended records to stable storage if any are pending.
+// A previously latched fsync failure is re-reported rather than retried.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	if l.closed || !l.dirty {
 		return nil
 	}
-	return l.syncLocked()
+	_, err := l.syncLocked()
+	return err
 }
 
-func (l *Log) syncLocked() error {
+// syncLocked fsyncs inline under l.mu, advancing the flushed horizon and
+// flushing the ledger on success, latching the error permanently on
+// failure. Either way group-commit waiters are woken to observe the new
+// state.
+func (l *Log) syncLocked() (time.Duration, error) {
 	t0 := time.Now()
-	err := l.f.Sync()
-	l.lastFsync = time.Since(t0)
+	err := l.fsyncFile()
+	d := time.Since(t0)
 	if l.opts.OnFsync != nil {
-		l.opts.OnFsync(l.lastFsync)
+		l.opts.OnFsync(d)
 	}
 	if err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		if l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.groupCond.Broadcast()
+		return d, l.syncErr
 	}
 	l.dirty = false
-	return nil
-}
-
-// TakeLastFsync returns the duration of the most recent fsync and
-// zeroes it, so a caller timing one append can attribute the inline
-// flush that append triggered (meaningful under PolicyAlways, where
-// every append fsyncs before returning; zero otherwise).
-func (l *Log) TakeLastFsync() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	d := l.lastFsync
-	l.lastFsync = 0
-	return d
+	if l.seq > l.flushedSeq {
+		l.flushedSeq = l.seq
+	}
+	l.groupPending = 0
+	if l.ledger != nil {
+		if lerr := l.ledger.commitTo(l.seq); lerr != nil {
+			if l.syncErr == nil {
+				l.syncErr = lerr
+			}
+			l.groupCond.Broadcast()
+			return d, l.syncErr
+		}
+	}
+	l.groupCond.Broadcast()
+	return d, nil
 }
 
 // Reset discards every record in the file — they are covered by a
 // checkpoint — while the sequence numbering continues, so records
 // written afterwards sort strictly after the checkpoint's sequence
 // point even if a crash prevents the truncation from being observed.
+// An attached Merkle ledger is untouched: it records the session's whole
+// history, checkpoints included.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log is closed")
+	}
+	if l.syncErr != nil {
+		return l.syncErr
 	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
@@ -361,7 +581,8 @@ func (l *Log) Reset() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
-	return l.syncLocked()
+	_, err := l.syncLocked()
+	return err
 }
 
 // Close flushes and closes the log. Safe to call more than once.
@@ -373,24 +594,34 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	var err error
-	if l.dirty {
-		if serr := l.syncLocked(); serr != nil {
+	if l.dirty && l.syncErr == nil {
+		if _, serr := l.syncLocked(); serr != nil {
 			err = serr
 		}
 	}
 	if cerr := l.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	// Waiters parked on a cohort that will never flush must observe
+	// closed rather than sleep forever.
+	l.groupCond.Broadcast()
 	stop := l.flushStop
+	gstop := l.groupStop
 	l.mu.Unlock()
 	if stop != nil {
 		close(stop)
 		<-l.flushDone
 	}
+	if gstop != nil {
+		close(gstop)
+		<-l.groupDone
+	}
 	return err
 }
 
-// flusher periodically syncs a dirty log under PolicyInterval.
+// flusher periodically syncs a dirty log under PolicyInterval. A failed
+// sync latches into the log's sticky error, so the next Append reports
+// it instead of silently acknowledging an unsyncable write.
 func (l *Log) flusher() {
 	defer close(l.flushDone)
 	t := time.NewTicker(l.opts.Interval)
@@ -400,7 +631,7 @@ func (l *Log) flusher() {
 		case <-l.flushStop:
 			return
 		case <-t.C:
-			_ = l.Sync() // the next Append surfaces a persistent write error
+			_ = l.Sync() // failure latches; the next Append surfaces it
 		}
 	}
 }
